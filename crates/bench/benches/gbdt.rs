@@ -1,0 +1,75 @@
+//! Criterion benchmarks for the GBDT substrate: training throughput and the
+//! per-job inference latency the paper's Figure 9a depends on.
+
+use byom_core::{ByomPipeline, CategoryLabeler, CategoryModel, CategoryModelConfig};
+use byom_cost::{CostModel, CostRates};
+use byom_gbdt::GbdtParams;
+use byom_trace::{ClusterSpec, FeatureEncoder, TraceGenerator};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let train = TraceGenerator::new(101).generate(&ClusterSpec::balanced(0), 6.0 * 3600.0);
+    let cost_model = CostModel::new(CostRates::default());
+    let trained = ByomPipeline::builder()
+        .num_categories(15)
+        .gbdt_trees(50)
+        .build()
+        .train(&train, &cost_model)
+        .expect("training succeeds");
+    let model = trained.model();
+    let jobs: Vec<_> = train.iter().take(50).cloned().collect();
+
+    c.bench_function("gbdt_inference_single_job", |b| {
+        b.iter(|| black_box(model.predict_category(&jobs[0].features)))
+    });
+    c.bench_function("gbdt_inference_50_jobs_fig09a", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for job in &jobs {
+                total += model.predict_category(&job.features);
+            }
+            black_box(total)
+        })
+    });
+    let encoder = FeatureEncoder::default();
+    c.bench_function("feature_encoding_single_job", |b| {
+        b.iter(|| black_box(encoder.encode(&jobs[0].features)))
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let train = TraceGenerator::new(102).generate(&ClusterSpec::balanced(0), 3.0 * 3600.0);
+    let cost_model = CostModel::new(CostRates::default());
+    let costs = cost_model.cost_trace(&train);
+    let labeler = CategoryLabeler::fit(&costs, 5);
+    let config = CategoryModelConfig {
+        num_categories: 5,
+        gbdt: GbdtParams {
+            num_classes: 5,
+            num_trees: 10,
+            ..GbdtParams::default()
+        },
+        encoder: FeatureEncoder::default(),
+        valid_fraction: 0.0,
+    };
+
+    let mut group = c.benchmark_group("gbdt_training");
+    group.sample_size(10);
+    group.bench_function("category_model_5_classes_10_rounds", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                black_box(
+                    CategoryModel::train(&config, &train, &costs, &labeler)
+                        .expect("training succeeds"),
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks for per-job placement-decision overhead of each
+//! policy — the cost a storage layer would pay on its critical path.
+
+use byom_core::ByomPipeline;
+use byom_cost::{CostModel, CostRates};
+use byom_policies::{CategoryHeuristic, FirstFit, LifetimeMlBaseline, LifetimeModelConfig};
+use byom_sim::{PlacementPolicy, SystemState};
+use byom_trace::{ClusterSpec, TraceGenerator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_decision_overhead(c: &mut Criterion) {
+    let train = TraceGenerator::new(201).generate(&ClusterSpec::balanced(0), 6.0 * 3600.0);
+    let cost_model = CostModel::new(CostRates::default());
+    let costs = cost_model.cost_trace(&train);
+    let job = &train.jobs()[train.len() / 2];
+    let cost = &costs[train.len() / 2];
+    let state = SystemState {
+        now: job.arrival,
+        ssd_occupancy_bytes: 0,
+        ssd_capacity_bytes: u64::MAX,
+    };
+
+    let trained = ByomPipeline::builder()
+        .num_categories(15)
+        .gbdt_trees(50)
+        .build()
+        .train(&train, &cost_model)
+        .expect("training succeeds");
+
+    let mut group = c.benchmark_group("placement_decision");
+
+    let mut first_fit = FirstFit::new();
+    group.bench_function("first_fit", |b| {
+        b.iter(|| black_box(first_fit.place(job, cost, &state)))
+    });
+
+    let mut heuristic = CategoryHeuristic::default();
+    group.bench_function("heuristic", |b| {
+        b.iter(|| black_box(heuristic.place(job, cost, &state)))
+    });
+
+    let mut ml_baseline = LifetimeMlBaseline::train(
+        LifetimeModelConfig {
+            gbdt: byom_gbdt::GbdtParams {
+                num_classes: 8,
+                num_trees: 30,
+                ..byom_gbdt::GbdtParams::default()
+            },
+            ..LifetimeModelConfig::default()
+        },
+        &train,
+    )
+    .expect("baseline training succeeds");
+    group.bench_function("ml_lifetime_baseline", |b| {
+        b.iter(|| black_box(ml_baseline.place(job, cost, &state)))
+    });
+
+    let mut hash = trained.adaptive_hash_policy();
+    group.bench_function("adaptive_hash", |b| {
+        b.iter(|| black_box(hash.place(job, cost, &state)))
+    });
+
+    let mut ranking = trained.adaptive_ranking_policy();
+    group.bench_function("adaptive_ranking_fig09a", |b| {
+        b.iter(|| black_box(ranking.place(job, cost, &state)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision_overhead);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the tiering simulator and trace generator:
+//! jobs-per-second replay throughput at several quotas.
+
+use byom_cost::{CostModel, CostRates};
+use byom_policies::FirstFit;
+use byom_sim::{SimConfig, Simulator};
+use byom_trace::{ClusterSpec, TraceGenerator};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let spec = ClusterSpec::balanced(0);
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    group.bench_function("generate_1h_balanced_cluster", |b| {
+        b.iter(|| black_box(TraceGenerator::new(1).generate(&spec, 3600.0)))
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let trace = TraceGenerator::new(2).generate(&ClusterSpec::balanced(0), 6.0 * 3600.0);
+    let cost_model = CostModel::new(CostRates::default());
+    let mut group = c.benchmark_group("simulator_replay");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for quota in [0.01f64, 0.2] {
+        let sim = Simulator::new(SimConfig::from_quota_fraction(&trace, quota), cost_model);
+        group.bench_function(format!("first_fit_quota_{quota}"), |b| {
+            b.iter(|| {
+                let mut policy = FirstFit::new();
+                black_box(sim.run(&trace, &mut policy))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let trace = TraceGenerator::new(3).generate(&ClusterSpec::balanced(0), 3.0 * 3600.0);
+    let cost_model = CostModel::new(CostRates::default());
+    let mut group = c.benchmark_group("cost_model");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("cost_trace", |b| {
+        b.iter(|| black_box(cost_model.cost_trace(&trace)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_generation, bench_simulator, bench_cost_model);
+criterion_main!(benches);

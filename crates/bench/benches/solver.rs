@@ -1,0 +1,42 @@
+//! Criterion benchmarks for the clairvoyant oracle solver: scaling with the
+//! number of jobs and with the SSD quota.
+
+use byom_cost::{CostModel, CostRates};
+use byom_solver::{Oracle, OracleObjective};
+use byom_trace::{ClusterSpec, TraceGenerator};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_oracle(c: &mut Criterion) {
+    let cost_model = CostModel::new(CostRates::default());
+    let mut group = c.benchmark_group("oracle_solver");
+    group.sample_size(10);
+    for hours in [1.0f64, 3.0, 6.0] {
+        let trace = TraceGenerator::new(5).generate(&ClusterSpec::balanced(0), hours * 3600.0);
+        let costs = cost_model.cost_trace(&trace);
+        let capacity = trace.peak_space_usage() / 100;
+        group.throughput(Throughput::Elements(costs.len() as u64));
+        group.bench_function(format!("tco_greedy_{}h_{}jobs", hours, costs.len()), |b| {
+            b.iter(|| {
+                black_box(Oracle::new(OracleObjective::Tco, capacity).solve(&costs))
+            })
+        });
+    }
+    // Quota sweep on a fixed trace.
+    let trace = TraceGenerator::new(6).generate(&ClusterSpec::balanced(0), 3.0 * 3600.0);
+    let costs = cost_model.cost_trace(&trace);
+    let peak = trace.peak_space_usage();
+    for quota in [0.01f64, 0.5] {
+        group.bench_function(format!("tcio_greedy_quota_{quota}"), |b| {
+            b.iter(|| {
+                black_box(
+                    Oracle::new(OracleObjective::Tcio, (peak as f64 * quota) as u64).solve(&costs),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

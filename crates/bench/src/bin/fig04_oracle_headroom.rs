@@ -1,0 +1,83 @@
+//! Figure 4 and the Section 3.1 headroom analysis.
+//!
+//! Runs the clairvoyant TCO oracle under several SSD quotas and reports how
+//! the selected jobs' I/O density shifts as capacity grows (Figure 4), plus
+//! the headroom ratio of the oracle over the practical Heuristic baseline at
+//! a 1% quota (the paper reports ≈5×).
+
+use byom_bench::report::f2;
+use byom_bench::{ExperimentContext, ExperimentParams, Table};
+use byom_policies::CategoryHeuristic;
+use byom_solver::{Oracle, OracleObjective};
+use byom_trace::ClusterSpec;
+
+fn main() {
+    let ctx = ExperimentContext::prepare(ClusterSpec::balanced(0), ExperimentParams::default());
+    let costs = ctx.cost_model.cost_trace(&ctx.test);
+    let peak = ctx.test.peak_space_usage();
+
+    // Figure 4: oracle selections under different quotas.
+    let mut table = Table::new(
+        "Figure 4: oracle TCO selections vs SSD quota",
+        &[
+            "quota",
+            "jobs on SSD",
+            "mean I/O density (SSD)",
+            "mean I/O density (HDD)",
+            "min density admitted",
+        ],
+    );
+    for quota in [0.01, 0.10, 0.50] {
+        let capacity = (peak as f64 * quota) as u64;
+        let solution = Oracle::new(OracleObjective::Tco, capacity).solve(&costs);
+        let (mut ssd_density, mut ssd_n) = (0.0, 0usize);
+        let (mut hdd_density, mut hdd_n) = (0.0, 0usize);
+        let mut min_admitted = f64::INFINITY;
+        for (cost, &on_ssd) in costs.iter().zip(&solution.on_ssd) {
+            if on_ssd {
+                ssd_density += cost.io_density;
+                ssd_n += 1;
+                min_admitted = min_admitted.min(cost.io_density);
+            } else {
+                hdd_density += cost.io_density;
+                hdd_n += 1;
+            }
+        }
+        table.row(&[
+            format!("{:.0}%", quota * 100.0),
+            ssd_n.to_string(),
+            f2(if ssd_n > 0 { ssd_density / ssd_n as f64 } else { 0.0 }),
+            f2(if hdd_n > 0 { hdd_density / hdd_n as f64 } else { 0.0 }),
+            if min_admitted.is_finite() { f2(min_admitted) } else { "-".into() },
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Headroom at 1% quota: oracle vs Heuristic.
+    let quota = 0.01;
+    let oracle = ctx.run_oracle(quota, OracleObjective::Tco);
+    let mut heuristic = CategoryHeuristic::default();
+    let heuristic_run = ctx.run_policy(quota, &mut heuristic);
+
+    let mut headroom = Table::new(
+        "Section 3.1: oracle headroom over the Heuristic at 1% quota",
+        &["method", "TCO savings %", "TCIO savings %"],
+    );
+    for r in [&heuristic_run, &oracle] {
+        headroom.row(&[
+            r.policy_name.clone(),
+            f2(r.tco_savings_percent()),
+            f2(r.tcio_savings_percent()),
+        ]);
+    }
+    println!("{}", headroom.render());
+    let ratio = if heuristic_run.tco_savings_percent() > 0.0 {
+        oracle.tco_savings_percent() / heuristic_run.tco_savings_percent()
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "Oracle headroom: {:.2}x the Heuristic's TCO savings (paper reports ~5.06x)\n",
+        ratio
+    );
+}

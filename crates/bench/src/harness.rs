@@ -1,0 +1,244 @@
+//! Experiment setup and the compared-methods runner.
+
+use byom_core::{ByomPipeline, TrainedByom};
+use byom_cost::{CostModel, CostRates};
+use byom_policies::{CategoryHeuristic, FirstFit, LifetimeMlBaseline, LifetimeModelConfig, OraclePolicy};
+use byom_sim::{application_runtime_savings_percent, PlacementPolicy, SimConfig, SimulationResult, Simulator};
+use byom_solver::{Oracle, OracleObjective};
+use byom_trace::{ClusterSpec, JobId, Trace, TraceGenerator};
+
+/// Parameters shared by most experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentParams {
+    /// RNG seed for the training trace.
+    pub train_seed: u64,
+    /// RNG seed for the test trace.
+    pub test_seed: u64,
+    /// Training trace duration in hours (the paper uses one week; the
+    /// default here is scaled down so experiments finish in minutes).
+    pub train_hours: f64,
+    /// Test trace duration in hours.
+    pub test_hours: f64,
+    /// Number of importance categories N.
+    pub num_categories: usize,
+    /// Maximum boosting rounds for the category model.
+    pub gbdt_trees: usize,
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        ExperimentParams {
+            train_seed: 1001,
+            test_seed: 2002,
+            train_hours: 12.0,
+            test_hours: 6.0,
+            num_categories: 15,
+            gbdt_trees: 50,
+        }
+    }
+}
+
+/// A fully prepared experiment: train/test traces, cost model, and a trained
+/// BYOM deployment for one cluster.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    /// The cluster specification the traces were generated from.
+    pub spec: ClusterSpec,
+    /// Training trace (the "historical week").
+    pub train: Trace,
+    /// Test trace (the "online week").
+    pub test: Trace,
+    /// The cost model.
+    pub cost_model: CostModel,
+    /// The trained BYOM deployment (labeler + category model).
+    pub trained: TrainedByom,
+    /// Parameters used to build the context.
+    pub params: ExperimentParams,
+}
+
+/// One method's savings at one operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodResult {
+    /// Method name as used in the paper's figures.
+    pub method: String,
+    /// TCO savings percent relative to all-on-HDD.
+    pub tco_savings_percent: f64,
+    /// TCIO savings percent relative to all-on-HDD.
+    pub tcio_savings_percent: f64,
+    /// Application run-time savings percent (Appendix C.1.2 model).
+    pub runtime_savings_percent: f64,
+}
+
+impl ExperimentContext {
+    /// Build an experiment context for one cluster.
+    ///
+    /// # Panics
+    /// Panics if model training fails (which would indicate an empty or
+    /// degenerate generated trace).
+    pub fn prepare(spec: ClusterSpec, params: ExperimentParams) -> Self {
+        let train =
+            TraceGenerator::new(params.train_seed).generate(&spec, params.train_hours * 3600.0);
+        let test =
+            TraceGenerator::new(params.test_seed).generate(&spec, params.test_hours * 3600.0);
+        let cost_model = CostModel::new(CostRates::default());
+        let trained = ByomPipeline::builder()
+            .num_categories(params.num_categories)
+            .gbdt_trees(params.gbdt_trees)
+            .build()
+            .train(&train, &cost_model)
+            .expect("training the category model on a generated trace should succeed");
+        ExperimentContext {
+            spec,
+            train,
+            test,
+            cost_model,
+            trained,
+            params,
+        }
+    }
+
+    /// Convenience: a balanced single-cluster context with default parameters.
+    pub fn default_cluster() -> Self {
+        ExperimentContext::prepare(ClusterSpec::balanced(0), ExperimentParams::default())
+    }
+
+    /// The simulator for a given SSD quota (fraction of the test trace's peak
+    /// space usage).
+    pub fn simulator(&self, quota_fraction: f64) -> Simulator {
+        Simulator::new(
+            SimConfig::from_quota_fraction(&self.test, quota_fraction),
+            self.cost_model,
+        )
+    }
+
+    /// Run one policy on the test trace at the given quota.
+    pub fn run_policy<P: PlacementPolicy + ?Sized>(
+        &self,
+        quota_fraction: f64,
+        policy: &mut P,
+    ) -> SimulationResult {
+        self.simulator(quota_fraction).run(&self.test, policy)
+    }
+
+    /// Run the clairvoyant oracle (as a playback policy) on the test trace.
+    pub fn run_oracle(&self, quota_fraction: f64, objective: OracleObjective) -> SimulationResult {
+        let costs = self.cost_model.cost_trace(&self.test);
+        let capacity = (self.test.peak_space_usage() as f64 * quota_fraction) as u64;
+        let solution = Oracle::new(objective, capacity).solve(&costs);
+        let ids: Vec<JobId> = self.test.iter().map(|j| j.id).collect();
+        let name = match objective {
+            OracleObjective::Tco => "Oracle TCO",
+            OracleObjective::Tcio => "Oracle TCIO",
+        };
+        let mut policy = OraclePolicy::from_selection(name, &ids, &solution.on_ssd);
+        self.run_policy(quota_fraction, &mut policy)
+    }
+
+    /// Run every compared method at the given quota and return one
+    /// [`MethodResult`] per method, in the paper's usual order.
+    ///
+    /// `include_oracles` controls whether the clairvoyant bounds are included
+    /// (they are the slowest part for large traces).
+    pub fn run_all_methods(&self, quota_fraction: f64, include_oracles: bool) -> Vec<MethodResult> {
+        let mut results = Vec::new();
+
+        let mut first_fit = FirstFit::new();
+        results.push(self.to_result(self.run_policy(quota_fraction, &mut first_fit)));
+
+        let mut heuristic = CategoryHeuristic::default();
+        results.push(self.to_result(self.run_policy(quota_fraction, &mut heuristic)));
+
+        let ml_config = LifetimeModelConfig {
+            gbdt: byom_gbdt::GbdtParams {
+                num_classes: 8,
+                num_trees: self.params.gbdt_trees.min(40),
+                ..byom_gbdt::GbdtParams::default()
+            },
+            ..LifetimeModelConfig::default()
+        };
+        let mut ml_baseline = LifetimeMlBaseline::train(ml_config, &self.train)
+            .expect("lifetime baseline training should succeed");
+        results.push(self.to_result(self.run_policy(quota_fraction, &mut ml_baseline)));
+
+        let mut hash = self.trained.adaptive_hash_policy();
+        results.push(self.to_result(self.run_policy(quota_fraction, &mut hash)));
+
+        let mut ranking = self.trained.adaptive_ranking_policy();
+        results.push(self.to_result(self.run_policy(quota_fraction, &mut ranking)));
+
+        if include_oracles {
+            results.push(self.to_result(self.run_oracle(quota_fraction, OracleObjective::Tcio)));
+            results.push(self.to_result(self.run_oracle(quota_fraction, OracleObjective::Tco)));
+        }
+        results
+    }
+
+    /// Convert a simulation result into a [`MethodResult`] row.
+    pub fn to_result(&self, result: SimulationResult) -> MethodResult {
+        MethodResult {
+            method: result.policy_name.clone(),
+            tco_savings_percent: result.tco_savings_percent(),
+            tcio_savings_percent: result.tcio_savings_percent(),
+            runtime_savings_percent: application_runtime_savings_percent(&result),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_params() -> ExperimentParams {
+        ExperimentParams {
+            train_hours: 6.0,
+            test_hours: 3.0,
+            num_categories: 5,
+            gbdt_trees: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn context_prepares_and_runs_all_methods() {
+        let ctx = ExperimentContext::prepare(ClusterSpec::balanced(0), quick_params());
+        assert!(!ctx.train.is_empty());
+        assert!(!ctx.test.is_empty());
+        let results = ctx.run_all_methods(0.05, true);
+        assert_eq!(results.len(), 7);
+        let names: Vec<&str> = results.iter().map(|r| r.method.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "FirstFit",
+                "Heuristic",
+                "ML Baseline",
+                "Adaptive Hash",
+                "Adaptive Ranking",
+                "Oracle TCIO",
+                "Oracle TCO"
+            ]
+        );
+        // The oracle TCO bound should be at least as good as every online method.
+        let oracle_tco = results.last().unwrap().tco_savings_percent;
+        for r in &results[..5] {
+            assert!(
+                r.tco_savings_percent <= oracle_tco + 1e-6,
+                "{} ({:.3}%) exceeded the oracle bound ({:.3}%)",
+                r.method,
+                r.tco_savings_percent,
+                oracle_tco
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_runner_matches_objective_names() {
+        let ctx = ExperimentContext::prepare(ClusterSpec::balanced(1), quick_params());
+        let tco = ctx.run_oracle(0.1, OracleObjective::Tco);
+        let tcio = ctx.run_oracle(0.1, OracleObjective::Tcio);
+        assert_eq!(tco.policy_name, "Oracle TCO");
+        assert_eq!(tcio.policy_name, "Oracle TCIO");
+        // The TCIO oracle saves at least as much TCIO as the TCO oracle.
+        assert!(tcio.tcio_savings_percent() >= tco.tcio_savings_percent() - 1e-6);
+    }
+}

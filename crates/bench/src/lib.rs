@@ -1,0 +1,18 @@
+//! Shared experiment harness used by the per-figure binaries and the
+//! Criterion benchmarks.
+//!
+//! Every table and figure of the paper has a corresponding binary in
+//! `src/bin/` (see DESIGN.md for the index). They all build on the helpers in
+//! this crate: generating train/test traces, training a BYOM deployment, and
+//! running the full set of compared methods (FirstFit, Heuristic, ML
+//! Baseline, Adaptive Hash, Adaptive Ranking, Oracle TCIO, Oracle TCO)
+//! through the simulator at a given SSD quota.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{ExperimentContext, ExperimentParams, MethodResult};
+pub use report::{print_table, Table};

@@ -1,0 +1,268 @@
+//! End-to-end BYOM pipeline: offline training → ready-to-run policies.
+//!
+//! Mirrors the paper's deployment flow (Figure 3, right): analyze a
+//! historical window of production workloads offline, fit the category
+//! labeler and the per-cluster category model, and hand the storage layer a
+//! policy that combines the model's predictions with the adaptive category
+//! selection algorithm.
+
+use crate::adaptive::AdaptiveConfig;
+use crate::categorize::{HashCategorizer, TrueCategoryOracle};
+use crate::labels::CategoryLabeler;
+use crate::model::{CategoryModel, CategoryModelConfig};
+use crate::policy::AdaptivePolicy;
+use byom_cost::CostModel;
+use byom_gbdt::{GbdtError, GbdtParams};
+use byom_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Builder for a [`ByomPipeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ByomPipelineBuilder {
+    num_categories: usize,
+    gbdt_trees: usize,
+    gbdt_max_depth: usize,
+    valid_fraction: f64,
+    adaptive: AdaptiveConfig,
+}
+
+impl Default for ByomPipelineBuilder {
+    fn default() -> Self {
+        ByomPipelineBuilder {
+            num_categories: 15,
+            gbdt_trees: 300,
+            gbdt_max_depth: 6,
+            valid_fraction: 0.2,
+            adaptive: AdaptiveConfig::default(),
+        }
+    }
+}
+
+impl ByomPipelineBuilder {
+    /// Number of importance categories N (paper default: 15).
+    pub fn num_categories(mut self, n: usize) -> Self {
+        self.num_categories = n;
+        self
+    }
+
+    /// Maximum number of boosting rounds (paper default: 300).
+    pub fn gbdt_trees(mut self, trees: usize) -> Self {
+        self.gbdt_trees = trees;
+        self
+    }
+
+    /// Maximum tree depth (paper default: 6).
+    pub fn gbdt_max_depth(mut self, depth: usize) -> Self {
+        self.gbdt_max_depth = depth;
+        self
+    }
+
+    /// Fraction of training data held out for early stopping.
+    pub fn valid_fraction(mut self, fraction: f64) -> Self {
+        self.valid_fraction = fraction;
+        self
+    }
+
+    /// Adaptive-algorithm configuration (look-back window, tolerance range,
+    /// decision interval).
+    pub fn adaptive_config(mut self, config: AdaptiveConfig) -> Self {
+        self.adaptive = config;
+        self
+    }
+
+    /// Finalize the configuration.
+    pub fn build(self) -> ByomPipeline {
+        ByomPipeline { builder: self }
+    }
+}
+
+/// An untrained BYOM pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ByomPipeline {
+    builder: ByomPipelineBuilder,
+}
+
+impl ByomPipeline {
+    /// Start building a pipeline.
+    pub fn builder() -> ByomPipelineBuilder {
+        ByomPipelineBuilder::default()
+    }
+
+    /// The category-model configuration this pipeline will train with.
+    pub fn model_config(&self) -> CategoryModelConfig {
+        let b = &self.builder;
+        CategoryModelConfig {
+            num_categories: b.num_categories,
+            gbdt: GbdtParams {
+                num_classes: b.num_categories,
+                num_trees: b.gbdt_trees,
+                tree: byom_gbdt::TreeParams {
+                    max_depth: b.gbdt_max_depth,
+                    ..byom_gbdt::TreeParams::default()
+                },
+                ..GbdtParams::default()
+            },
+            encoder: byom_trace::FeatureEncoder::default(),
+            valid_fraction: b.valid_fraction,
+        }
+    }
+
+    /// Train the labeler and category model on a historical trace, producing
+    /// a [`TrainedByom`] that can mint policies.
+    ///
+    /// # Errors
+    /// Returns an error if the trace is empty or model training fails.
+    pub fn train(&self, train: &Trace, cost_model: &CostModel) -> Result<TrainedByom, GbdtError> {
+        if train.is_empty() {
+            return Err(GbdtError::EmptyDataset);
+        }
+        let costs = cost_model.cost_trace(train);
+        let labeler = CategoryLabeler::fit(&costs, self.builder.num_categories);
+        let model = CategoryModel::train(&self.model_config(), train, &costs, &labeler)?;
+        Ok(TrainedByom {
+            labeler,
+            model,
+            cost_model: *cost_model,
+            adaptive: AdaptiveConfig {
+                num_categories: self.builder.num_categories,
+                ..self.builder.adaptive
+            },
+        })
+    }
+}
+
+/// A trained BYOM deployment: labeler, category model, and the adaptive
+/// configuration, ready to mint placement policies.
+#[derive(Debug, Clone)]
+pub struct TrainedByom {
+    labeler: CategoryLabeler,
+    model: CategoryModel,
+    cost_model: CostModel,
+    adaptive: AdaptiveConfig,
+}
+
+impl TrainedByom {
+    /// The paper's method: model predictions + adaptive category selection.
+    pub fn adaptive_ranking_policy(&self) -> AdaptivePolicy<CategoryModel> {
+        AdaptivePolicy::new(self.model.clone(), self.adaptive)
+    }
+
+    /// The non-ML ablation: hashed categories + adaptive category selection.
+    pub fn adaptive_hash_policy(&self) -> AdaptivePolicy<HashCategorizer> {
+        AdaptivePolicy::new(
+            HashCategorizer::new(self.adaptive.num_categories),
+            self.adaptive,
+        )
+    }
+
+    /// The perfect-prediction upper bound: ground-truth categories + adaptive
+    /// category selection (Figure 11's "True category").
+    pub fn true_category_policy(&self) -> AdaptivePolicy<TrueCategoryOracle> {
+        AdaptivePolicy::new(
+            TrueCategoryOracle::new(self.labeler.clone(), self.cost_model),
+            self.adaptive,
+        )
+    }
+
+    /// The fitted category labeler.
+    pub fn labeler(&self) -> &CategoryLabeler {
+        &self.labeler
+    }
+
+    /// The trained category model.
+    pub fn model(&self) -> &CategoryModel {
+        &self.model
+    }
+
+    /// The adaptive-algorithm configuration.
+    pub fn adaptive_config(&self) -> &AdaptiveConfig {
+        &self.adaptive
+    }
+
+    /// The cost model used for labeling.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byom_cost::CostRates;
+    use byom_sim::{PlacementPolicy, SimConfig, Simulator};
+    use byom_trace::{ClusterSpec, TraceGenerator};
+
+    fn quick_pipeline() -> ByomPipeline {
+        ByomPipeline::builder()
+            .num_categories(5)
+            .gbdt_trees(15)
+            .build()
+    }
+
+    fn cost_model() -> CostModel {
+        CostModel::new(CostRates::default())
+    }
+
+    #[test]
+    fn builder_round_trips_configuration() {
+        let p = ByomPipeline::builder()
+            .num_categories(7)
+            .gbdt_trees(50)
+            .gbdt_max_depth(4)
+            .valid_fraction(0.1)
+            .build();
+        let cfg = p.model_config();
+        assert_eq!(cfg.num_categories, 7);
+        assert_eq!(cfg.gbdt.num_trees, 50);
+        assert_eq!(cfg.gbdt.tree.max_depth, 4);
+        assert_eq!(cfg.valid_fraction, 0.1);
+    }
+
+    #[test]
+    fn trains_and_mints_all_three_policies() {
+        let train = TraceGenerator::new(61).generate(&ClusterSpec::balanced(0), 8.0 * 3600.0);
+        let trained = quick_pipeline().train(&train, &cost_model()).unwrap();
+        let ranking = trained.adaptive_ranking_policy();
+        let hash = trained.adaptive_hash_policy();
+        let truth = trained.true_category_policy();
+        assert_eq!(ranking.name(), "Adaptive Ranking");
+        assert_eq!(hash.name(), "Adaptive Hash");
+        assert_eq!(truth.name(), "Adaptive TrueCategory");
+        assert_eq!(trained.labeler().num_categories(), 5);
+        assert_eq!(trained.model().num_categories(), 5);
+        assert_eq!(trained.adaptive_config().num_categories, 5);
+    }
+
+    #[test]
+    fn empty_training_trace_is_an_error() {
+        let err = quick_pipeline().train(&Trace::default(), &cost_model());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn end_to_end_ranking_beats_hash_at_tight_quota() {
+        // The headline qualitative claim: with a tight SSD quota, the learned
+        // ranking categorizer saves more TCO than the non-ML hash ablation.
+        let generator = TraceGenerator::new(62);
+        let spec = ClusterSpec::balanced(0);
+        let train = generator.generate(&spec, 16.0 * 3600.0);
+        let test = TraceGenerator::new(63).generate(&spec, 8.0 * 3600.0);
+        let cm = cost_model();
+        let trained = ByomPipeline::builder()
+            .num_categories(8)
+            .gbdt_trees(40)
+            .build()
+            .train(&train, &cm)
+            .unwrap();
+
+        let sim = Simulator::new(SimConfig::from_quota_fraction(&test, 0.01), cm);
+        let ranking = sim.run(&test, &mut trained.adaptive_ranking_policy());
+        let hash = sim.run(&test, &mut trained.adaptive_hash_policy());
+        assert!(
+            ranking.tco_savings_percent() >= hash.tco_savings_percent(),
+            "ranking {:.3}% should be >= hash {:.3}%",
+            ranking.tco_savings_percent(),
+            hash.tco_savings_percent()
+        );
+    }
+}

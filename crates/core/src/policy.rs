@@ -1,0 +1,160 @@
+//! The cross-layer placement policies built from a categorizer plus the
+//! adaptive category selection algorithm.
+//!
+//! * **Adaptive Ranking** = [`CategoryModel`](crate::model::CategoryModel)
+//!   + [`AdaptiveSelector`] — the paper's method.
+//! * **Adaptive Hash** = [`HashCategorizer`](crate::categorize::HashCategorizer)
+//!   + [`AdaptiveSelector`] — the non-ML ablation.
+//! * **True Category** = [`TrueCategoryOracle`](crate::categorize::TrueCategoryOracle)
+//!   + [`AdaptiveSelector`] — the perfect-prediction upper bound of Figure 11.
+
+use crate::adaptive::{AdaptiveConfig, AdaptiveSelector};
+use crate::categorize::Categorizer;
+use byom_cost::JobCost;
+use byom_sim::{Device, JobOutcome, PlacementPolicy, SystemState};
+use byom_trace::ShuffleJob;
+
+/// A placement policy pairing a categorizer (application layer) with the
+/// adaptive category selection algorithm (storage layer).
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy<C: Categorizer> {
+    name: String,
+    categorizer: C,
+    selector: AdaptiveSelector,
+}
+
+impl<C: Categorizer> AdaptivePolicy<C> {
+    /// Build a policy from a categorizer and an adaptive-algorithm
+    /// configuration. The configuration's category count is overridden by the
+    /// categorizer's.
+    pub fn new(categorizer: C, config: AdaptiveConfig) -> Self {
+        let config = AdaptiveConfig {
+            num_categories: categorizer.num_categories(),
+            ..config
+        };
+        let name = format!("Adaptive {}", categorizer.name());
+        AdaptivePolicy {
+            name,
+            selector: AdaptiveSelector::new(config),
+            categorizer,
+        }
+    }
+
+    /// The current admission category threshold.
+    pub fn act(&self) -> usize {
+        self.selector.act()
+    }
+
+    /// The recorded `(time, ACT, spillover_percent)` adaptation trace
+    /// (Figure 16 of the paper).
+    pub fn adaptation_trace(&self) -> &[(f64, usize, f64)] {
+        self.selector.adaptation_trace()
+    }
+
+    /// The categorizer in use.
+    pub fn categorizer(&self) -> &C {
+        &self.categorizer
+    }
+}
+
+impl<C: Categorizer> PlacementPolicy for AdaptivePolicy<C> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn place(&mut self, job: &ShuffleJob, _cost: &JobCost, _state: &SystemState) -> Device {
+        let category = self.categorizer.categorize(job);
+        if self.selector.admit(job.arrival, category) {
+            Device::Ssd
+        } else {
+            Device::Hdd
+        }
+    }
+
+    fn observe(&mut self, outcome: &JobOutcome) {
+        self.selector.observe(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categorize::HashCategorizer;
+    use byom_cost::{CostModel, CostRates};
+    use byom_sim::{SimConfig, Simulator};
+    use byom_trace::{ClusterSpec, TraceGenerator};
+
+    fn config() -> AdaptiveConfig {
+        AdaptiveConfig {
+            lookback_window_secs: 900.0,
+            decision_interval_secs: 600.0,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_hash_policy_runs_end_to_end() {
+        let trace = TraceGenerator::new(51).generate(&ClusterSpec::balanced(0), 6.0 * 3600.0);
+        let model = CostModel::new(CostRates::default());
+        let sim = Simulator::new(SimConfig::from_quota_fraction(&trace, 0.05), model);
+        let mut policy = AdaptivePolicy::new(HashCategorizer::new(15), config());
+        assert_eq!(policy.name(), "Adaptive Hash");
+        let result = sim.run(&trace, &mut policy);
+        assert_eq!(result.outcomes.len(), trace.len());
+        // The policy adapts: its trace records at least a couple of updates.
+        assert!(policy.adaptation_trace().len() >= 2);
+        assert!(policy.act() >= 1 && policy.act() <= 14);
+    }
+
+    #[test]
+    fn category_zero_jobs_are_never_admitted() {
+        /// A categorizer that always returns category 0.
+        #[derive(Debug)]
+        struct AlwaysZero;
+        impl Categorizer for AlwaysZero {
+            fn name(&self) -> &str {
+                "Zero"
+            }
+            fn categorize(&self, _: &ShuffleJob) -> usize {
+                0
+            }
+            fn num_categories(&self) -> usize {
+                5
+            }
+        }
+        let trace = TraceGenerator::new(52).generate(&ClusterSpec::balanced(0), 3_600.0);
+        let model = CostModel::new(CostRates::default());
+        let sim = Simulator::new(SimConfig::from_quota_fraction(&trace, 0.5), model);
+        let mut policy = AdaptivePolicy::new(AlwaysZero, config());
+        let result = sim.run(&trace, &mut policy);
+        assert_eq!(result.jobs_scheduled_to_ssd(), 0);
+        assert_eq!(result.savings.tco_savings_percent(), 0.0);
+    }
+
+    #[test]
+    fn act_rises_under_a_tiny_quota() {
+        let trace = TraceGenerator::new(53).generate(&ClusterSpec::balanced(0), 12.0 * 3600.0);
+        let model = CostModel::new(CostRates::default());
+        // Quota of 0.1% of peak: heavy spillover expected.
+        let sim = Simulator::new(SimConfig::from_quota_fraction(&trace, 0.001), model);
+        let mut policy = AdaptivePolicy::new(HashCategorizer::new(15), config());
+        let _ = sim.run(&trace, &mut policy);
+        let max_act = policy
+            .adaptation_trace()
+            .iter()
+            .map(|(_, act, _)| *act)
+            .max()
+            .unwrap_or(1);
+        assert!(max_act > 1, "ACT should rise under a tiny quota");
+    }
+
+    #[test]
+    fn plentiful_quota_keeps_act_low() {
+        let trace = TraceGenerator::new(54).generate(&ClusterSpec::balanced(0), 6.0 * 3600.0);
+        let model = CostModel::new(CostRates::default());
+        let sim = Simulator::new(SimConfig { ssd_capacity_bytes: u64::MAX }, model);
+        let mut policy = AdaptivePolicy::new(HashCategorizer::new(15), config());
+        let _ = sim.run(&trace, &mut policy);
+        assert_eq!(policy.act(), 1, "no spillover should keep the ACT at its floor");
+    }
+}

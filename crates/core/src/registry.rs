@@ -1,0 +1,227 @@
+//! Model granularity: per-cluster vs per-workload models.
+//!
+//! Section 5.1 of the paper discusses the training-granularity trade-off: one
+//! model per binary/workload captures workload-specific behaviour best, while
+//! one joint model per cluster scales to many workloads and covers
+//! rarely-seen pipelines. The paper evaluates the per-cluster granularity but
+//! notes nothing precludes finer choices. [`ModelRegistry`] implements the
+//! finer option: it trains one category model per pipeline (for pipelines
+//! with enough history) plus a cluster-wide fallback model, and routes each
+//! arriving job to its pipeline's model when one exists.
+
+use crate::categorize::Categorizer;
+use crate::labels::CategoryLabeler;
+use crate::model::{CategoryModel, CategoryModelConfig};
+use byom_cost::{CostModel, JobCost};
+use byom_gbdt::GbdtError;
+use byom_trace::{ShuffleJob, Trace};
+use std::collections::HashMap;
+
+/// Training granularity for the BYOM category models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelGranularity {
+    /// One joint model per cluster (the paper's evaluated configuration).
+    PerCluster,
+    /// One model per pipeline, with a per-cluster fallback for pipelines with
+    /// too little history. `min_jobs_per_pipeline` controls the cut-off.
+    PerPipeline {
+        /// Minimum number of historical jobs a pipeline needs before it gets
+        /// its own model.
+        min_jobs_per_pipeline: usize,
+    },
+}
+
+/// A set of per-pipeline category models plus a cluster-wide fallback.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    fallback: CategoryModel,
+    per_pipeline: HashMap<String, CategoryModel>,
+    num_categories: usize,
+}
+
+impl ModelRegistry {
+    /// Train a registry at the requested granularity.
+    ///
+    /// With [`ModelGranularity::PerCluster`] this is equivalent to training a
+    /// single [`CategoryModel`]; with [`ModelGranularity::PerPipeline`] each
+    /// pipeline with at least `min_jobs_per_pipeline` historical jobs gets a
+    /// dedicated model.
+    ///
+    /// # Errors
+    /// Returns an error if the fallback (cluster-wide) model cannot be
+    /// trained. Per-pipeline models that fail to train are skipped (their
+    /// pipelines fall back to the cluster model).
+    pub fn train(
+        config: &CategoryModelConfig,
+        granularity: ModelGranularity,
+        train: &Trace,
+        cost_model: &CostModel,
+        labeler: &CategoryLabeler,
+    ) -> Result<Self, GbdtError> {
+        let costs = cost_model.cost_trace(train);
+        let fallback = CategoryModel::train(config, train, &costs, labeler)?;
+        let mut per_pipeline = HashMap::new();
+
+        if let ModelGranularity::PerPipeline {
+            min_jobs_per_pipeline,
+        } = granularity
+        {
+            // Group job indices by pipeline.
+            let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+            for (i, job) in train.iter().enumerate() {
+                groups
+                    .entry(job.features.pipeline_name.clone())
+                    .or_default()
+                    .push(i);
+            }
+            for (pipeline, indices) in groups {
+                if indices.len() < min_jobs_per_pipeline {
+                    continue;
+                }
+                let jobs: Vec<ShuffleJob> =
+                    indices.iter().map(|&i| train.jobs()[i].clone()).collect();
+                let sub_trace = Trace::new(jobs);
+                let sub_costs: Vec<JobCost> =
+                    indices.iter().map(|&i| costs[i]).collect();
+                // Pipelines are homogeneous, so a smaller validation split (or
+                // none) is appropriate; reuse the config as-is and skip
+                // pipelines whose model fails to train.
+                if let Ok(model) = CategoryModel::train(config, &sub_trace, &sub_costs, labeler) {
+                    per_pipeline.insert(pipeline, model);
+                }
+            }
+        }
+
+        Ok(ModelRegistry {
+            fallback,
+            per_pipeline,
+            num_categories: config.num_categories,
+        })
+    }
+
+    /// Number of dedicated per-pipeline models (excluding the fallback).
+    pub fn num_pipeline_models(&self) -> usize {
+        self.per_pipeline.len()
+    }
+
+    /// The cluster-wide fallback model.
+    pub fn fallback(&self) -> &CategoryModel {
+        &self.fallback
+    }
+
+    /// Whether a dedicated model exists for the given pipeline name.
+    pub fn has_pipeline_model(&self, pipeline: &str) -> bool {
+        self.per_pipeline.contains_key(pipeline)
+    }
+
+    /// The model that will be used for a given job.
+    pub fn model_for(&self, job: &ShuffleJob) -> &CategoryModel {
+        self.per_pipeline
+            .get(&job.features.pipeline_name)
+            .unwrap_or(&self.fallback)
+    }
+}
+
+impl Categorizer for ModelRegistry {
+    fn name(&self) -> &str {
+        "Ranking (per-pipeline)"
+    }
+
+    fn categorize(&self, job: &ShuffleJob) -> usize {
+        self.model_for(job).predict_category(&job.features)
+    }
+
+    fn num_categories(&self) -> usize {
+        self.num_categories
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byom_cost::CostRates;
+    use byom_gbdt::GbdtParams;
+    use byom_trace::{ClusterSpec, FeatureEncoder, TraceGenerator};
+
+    fn setup() -> (Trace, CostModel, CategoryLabeler, CategoryModelConfig) {
+        let trace = TraceGenerator::new(71).generate(&ClusterSpec::balanced(0), 8.0 * 3600.0);
+        let cost_model = CostModel::new(CostRates::default());
+        let costs = cost_model.cost_trace(&trace);
+        let labeler = CategoryLabeler::fit(&costs, 5);
+        let config = CategoryModelConfig {
+            num_categories: 5,
+            gbdt: GbdtParams {
+                num_classes: 5,
+                num_trees: 8,
+                ..GbdtParams::default()
+            },
+            encoder: FeatureEncoder::default(),
+            valid_fraction: 0.0,
+        };
+        (trace, cost_model, labeler, config)
+    }
+
+    #[test]
+    fn per_cluster_granularity_has_no_pipeline_models() {
+        let (trace, cost_model, labeler, config) = setup();
+        let registry = ModelRegistry::train(
+            &config,
+            ModelGranularity::PerCluster,
+            &trace,
+            &cost_model,
+            &labeler,
+        )
+        .unwrap();
+        assert_eq!(registry.num_pipeline_models(), 0);
+        // Every job routes to the fallback.
+        let job = &trace.jobs()[0];
+        assert!(!registry.has_pipeline_model(&job.features.pipeline_name));
+        assert_eq!(
+            registry.categorize(job),
+            registry.fallback().predict_category(&job.features)
+        );
+    }
+
+    #[test]
+    fn per_pipeline_granularity_trains_dedicated_models() {
+        let (trace, cost_model, labeler, config) = setup();
+        let registry = ModelRegistry::train(
+            &config,
+            ModelGranularity::PerPipeline {
+                min_jobs_per_pipeline: 50,
+            },
+            &trace,
+            &cost_model,
+            &labeler,
+        )
+        .unwrap();
+        assert!(
+            registry.num_pipeline_models() > 0,
+            "expected at least one pipeline with enough history"
+        );
+        // Jobs from covered pipelines route to their dedicated model; others
+        // fall back, and both paths return valid categories.
+        for job in trace.iter().take(200) {
+            let c = registry.categorize(job);
+            assert!(c < 5);
+        }
+        assert_eq!(Categorizer::num_categories(&registry), 5);
+        assert_eq!(registry.name(), "Ranking (per-pipeline)");
+    }
+
+    #[test]
+    fn high_threshold_leaves_only_the_fallback() {
+        let (trace, cost_model, labeler, config) = setup();
+        let registry = ModelRegistry::train(
+            &config,
+            ModelGranularity::PerPipeline {
+                min_jobs_per_pipeline: usize::MAX,
+            },
+            &trace,
+            &cost_model,
+            &labeler,
+        )
+        .unwrap();
+        assert_eq!(registry.num_pipeline_models(), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Storage cost model: `TCIO` and `TCO` as defined in Section 3 of the BYOM
+//! storage-placement paper.
+//!
+//! Two metrics drive every experiment in the paper:
+//!
+//! * **TCIO** (*Total Cost of I/O*): the disk pressure a job places on HDDs,
+//!   expressed in units of "the I/O one standard HDD can sustain per second".
+//!   A job running entirely on SSD has a TCIO of zero. The computation
+//!   accounts for the server-side DRAM cache (cached reads never reach the
+//!   disks) and for small writes being coalesced into 1 MiB chunks before
+//!   they hit the disks.
+//! * **TCO** (*storage Total Cost of Ownership*): the monetary cost of
+//!   storing and serving a job on a device, decomposed into byte, network,
+//!   server, and device-specific components. The SSD-specific component is
+//!   wear-out (bytes written against the drive's P/E budget).
+//!
+//! The headline quantity of the paper — *TCO savings* — is, per job, the
+//! difference `TCO_HDD − TCO_SSD`; savings are reported as a percentage of
+//! the all-on-HDD total.
+//!
+//! ```
+//! use byom_cost::{CostModel, CostRates};
+//! use byom_trace::{ClusterSpec, TraceGenerator};
+//!
+//! let trace = TraceGenerator::new(1).generate(&ClusterSpec::balanced(0), 3_600.0);
+//! let model = CostModel::new(CostRates::default());
+//! let costs = model.cost_trace(&trace);
+//! assert_eq!(costs.len(), trace.len());
+//! // Every job has a non-negative HDD cost.
+//! assert!(costs.iter().all(|c| c.tco_hdd >= 0.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod job_cost;
+pub mod rates;
+pub mod savings;
+pub mod tcio;
+pub mod tco;
+
+pub use job_cost::{CostModel, JobCost};
+pub use rates::CostRates;
+pub use savings::{savings_summary, Placement, SavingsSummary};
+pub use tcio::tcio_on_hdd;
+pub use tco::{tco_hdd, tco_ssd, TcoBreakdown};

@@ -1,0 +1,148 @@
+//! TCIO: disk pressure a job exerts on HDDs, in units of one standard HDD's
+//! sustainable I/O per second.
+//!
+//! Per the paper, the TCIO calculation reflects the *true* pressure on the
+//! disks: reads served from the per-server DRAM cache never reach the disks,
+//! and small writes are grouped into 1 MiB chunks before being written. We
+//! model HDD service time with the classic two-term model
+//! (positioning time per operation + transfer time per byte), so a job's
+//! TCIO is its required disk-busy-time per second of lifetime.
+
+use crate::rates::CostRates;
+use byom_trace::ShuffleJob;
+
+/// TCIO of a job if placed on HDD: average number of standard HDDs kept busy
+/// over the job's lifetime. A TCIO of 2.0 means the job would need two HDDs.
+///
+/// Returns 0.0 for degenerate jobs with a non-positive lifetime.
+pub fn tcio_on_hdd(job: &ShuffleJob, rates: &CostRates) -> f64 {
+    if job.lifetime <= 0.0 {
+        return 0.0;
+    }
+    let io = &job.io;
+
+    // Reads that miss the DRAM cache reach the disks.
+    let miss = (1.0 - io.dram_hit_fraction).clamp(0.0, 1.0);
+    let disk_read_ops = io.read_ops as f64 * miss;
+    let disk_read_bytes = io.read_bytes as f64 * miss;
+
+    // Writes are coalesced into chunks before reaching the disks.
+    let disk_write_ops =
+        (io.written_bytes as f64 / rates.write_coalesce_bytes as f64).ceil();
+    let disk_write_bytes = io.written_bytes as f64;
+
+    // Disk busy time: positioning per operation + transfer per byte.
+    let positioning_secs = (disk_read_ops + disk_write_ops) / rates.hdd_ops_per_sec;
+    let transfer_secs = (disk_read_bytes + disk_write_bytes) / rates.hdd_bandwidth_bytes_per_sec;
+
+    (positioning_secs + transfer_secs) / job.lifetime
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byom_trace::{IoProfile, JobFeatures, JobId};
+
+    fn job(lifetime: f64, io: IoProfile) -> ShuffleJob {
+        ShuffleJob {
+            id: JobId(0),
+            cluster: 0,
+            arrival: 0.0,
+            lifetime,
+            size_bytes: 1 << 30,
+            io,
+            features: JobFeatures::default(),
+            archetype: 0,
+        }
+    }
+
+    fn rates() -> CostRates {
+        CostRates::default()
+    }
+
+    #[test]
+    fn zero_io_means_zero_tcio() {
+        let j = job(100.0, IoProfile::default());
+        assert_eq!(tcio_on_hdd(&j, &rates()), 0.0);
+    }
+
+    #[test]
+    fn zero_lifetime_means_zero_tcio() {
+        let j = job(
+            0.0,
+            IoProfile {
+                read_ops: 1000,
+                read_bytes: 1 << 30,
+                ..Default::default()
+            },
+        );
+        assert_eq!(tcio_on_hdd(&j, &rates()), 0.0);
+    }
+
+    #[test]
+    fn dram_cache_hits_reduce_tcio() {
+        let base = IoProfile {
+            read_ops: 100_000,
+            read_bytes: 10 << 30,
+            dram_hit_fraction: 0.0,
+            ..Default::default()
+        };
+        let cached = IoProfile {
+            dram_hit_fraction: 0.5,
+            ..base
+        };
+        let t_uncached = tcio_on_hdd(&job(1000.0, base), &rates());
+        let t_cached = tcio_on_hdd(&job(1000.0, cached), &rates());
+        assert!(t_cached < t_uncached);
+        assert!((t_cached - t_uncached / 2.0).abs() / t_uncached < 0.05);
+    }
+
+    #[test]
+    fn small_writes_are_coalesced() {
+        // 1 GiB written as 1 million tiny ops should cost the same positioning
+        // as 1 GiB written as 1024 x 1 MiB ops, because coalescing groups them.
+        let many_small = IoProfile {
+            written_bytes: 1 << 30,
+            write_ops: 1_000_000,
+            ..Default::default()
+        };
+        let few_large = IoProfile {
+            written_bytes: 1 << 30,
+            write_ops: 1024,
+            ..Default::default()
+        };
+        let r = rates();
+        let a = tcio_on_hdd(&job(100.0, many_small), &r);
+        let b = tcio_on_hdd(&job(100.0, few_large), &r);
+        assert!((a - b).abs() < 1e-12, "coalescing should ignore raw write op count");
+    }
+
+    #[test]
+    fn tcio_scales_inversely_with_lifetime() {
+        let io = IoProfile {
+            read_ops: 10_000,
+            read_bytes: 1 << 30,
+            written_bytes: 1 << 30,
+            ..Default::default()
+        };
+        let short = tcio_on_hdd(&job(100.0, io), &rates());
+        let long = tcio_on_hdd(&job(1000.0, io), &rates());
+        assert!((short / long - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tcio_magnitude_is_sensible() {
+        // 150 read ops/s of 64 KiB at zero cache hit should keep ~1 HDD busy
+        // on positioning alone.
+        let lifetime = 1000.0;
+        let read_ops = 150_000u64;
+        let io = IoProfile {
+            read_ops,
+            read_bytes: read_ops * 64 * 1024,
+            mean_read_size: 64 * 1024,
+            ..Default::default()
+        };
+        let t = tcio_on_hdd(&job(lifetime, io), &rates());
+        assert!(t > 1.0 && t < 1.2, "tcio {t}");
+    }
+}

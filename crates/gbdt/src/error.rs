@@ -1,0 +1,93 @@
+//! Error type for dataset construction and model training.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by dataset construction and GBDT training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GbdtError {
+    /// The dataset is empty or otherwise unusable.
+    EmptyDataset,
+    /// Feature rows have inconsistent lengths.
+    RaggedRows {
+        /// Expected row length (from the first row).
+        expected: usize,
+        /// Offending row length.
+        found: usize,
+    },
+    /// A label is outside `[0, num_classes)`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The number of classes.
+        num_classes: usize,
+    },
+    /// Labels and feature rows have different lengths.
+    LengthMismatch {
+        /// Number of feature rows.
+        rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A feature value is NaN or infinite.
+    NonFiniteFeature {
+        /// Row index of the offending value.
+        row: usize,
+        /// Column index of the offending value.
+        column: usize,
+    },
+    /// Invalid hyperparameters.
+    InvalidParams(String),
+}
+
+impl fmt::Display for GbdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GbdtError::EmptyDataset => write!(f, "dataset contains no rows"),
+            GbdtError::RaggedRows { expected, found } => {
+                write!(f, "feature rows have inconsistent lengths: expected {expected}, found {found}")
+            }
+            GbdtError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} is outside [0, {num_classes})")
+            }
+            GbdtError::LengthMismatch { rows, labels } => {
+                write!(f, "{rows} feature rows but {labels} labels")
+            }
+            GbdtError::NonFiniteFeature { row, column } => {
+                write!(f, "non-finite feature value at row {row}, column {column}")
+            }
+            GbdtError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+        }
+    }
+}
+
+impl Error for GbdtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(GbdtError::EmptyDataset.to_string().contains("no rows"));
+        assert!(GbdtError::RaggedRows { expected: 3, found: 2 }
+            .to_string()
+            .contains("inconsistent"));
+        assert!(GbdtError::LabelOutOfRange { label: 9, num_classes: 5 }
+            .to_string()
+            .contains('9'));
+        assert!(GbdtError::LengthMismatch { rows: 1, labels: 2 }
+            .to_string()
+            .contains("labels"));
+        assert!(GbdtError::NonFiniteFeature { row: 0, column: 1 }
+            .to_string()
+            .contains("non-finite"));
+        assert!(GbdtError::InvalidParams("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GbdtError>();
+    }
+}

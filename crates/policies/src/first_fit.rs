@@ -1,0 +1,102 @@
+//! FirstFit: the static production heuristic (Section 3.2).
+//!
+//! Jobs are considered in arrival order; a job is scheduled onto SSD if its
+//! peak space usage fits in the SSD capacity that is currently free. This
+//! optimizes TCIO when SSD is plentiful but can significantly increase TCO
+//! when SSD capacity is limited or expensive, because it admits large,
+//! HDD-friendly jobs as readily as small, I/O-dense ones.
+
+use byom_cost::JobCost;
+use byom_sim::{Device, PlacementPolicy, SystemState};
+use byom_trace::ShuffleJob;
+
+/// The FirstFit static placement policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FirstFit;
+
+impl FirstFit {
+    /// Create a FirstFit policy.
+    pub fn new() -> Self {
+        FirstFit
+    }
+}
+
+impl PlacementPolicy for FirstFit {
+    fn name(&self) -> &str {
+        "FirstFit"
+    }
+
+    fn place(&mut self, job: &ShuffleJob, _cost: &JobCost, state: &SystemState) -> Device {
+        if job.size_bytes <= state.ssd_free_bytes() {
+            Device::Ssd
+        } else {
+            Device::Hdd
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byom_trace::{IoProfile, JobFeatures, JobId};
+
+    fn job(size: u64) -> ShuffleJob {
+        ShuffleJob {
+            id: JobId(0),
+            cluster: 0,
+            arrival: 0.0,
+            lifetime: 10.0,
+            size_bytes: size,
+            io: IoProfile::default(),
+            features: JobFeatures::default(),
+            archetype: 0,
+        }
+    }
+
+    fn cost() -> JobCost {
+        JobCost {
+            id: JobId(0),
+            arrival: 0.0,
+            lifetime: 10.0,
+            size_bytes: 0,
+            tcio_hdd: 0.0,
+            tco_hdd: 0.0,
+            tco_ssd: 0.0,
+            io_density: 0.0,
+        }
+    }
+
+    fn state(occupied: u64, capacity: u64) -> SystemState {
+        SystemState {
+            now: 0.0,
+            ssd_occupancy_bytes: occupied,
+            ssd_capacity_bytes: capacity,
+        }
+    }
+
+    #[test]
+    fn admits_when_job_fits() {
+        let mut p = FirstFit::new();
+        assert_eq!(p.place(&job(50), &cost(), &state(0, 100)), Device::Ssd);
+        assert_eq!(p.place(&job(100), &cost(), &state(0, 100)), Device::Ssd);
+    }
+
+    #[test]
+    fn rejects_when_job_does_not_fit() {
+        let mut p = FirstFit::new();
+        assert_eq!(p.place(&job(101), &cost(), &state(0, 100)), Device::Hdd);
+        assert_eq!(p.place(&job(50), &cost(), &state(60, 100)), Device::Hdd);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything_but_zero_size() {
+        let mut p = FirstFit::new();
+        assert_eq!(p.place(&job(1), &cost(), &state(0, 0)), Device::Hdd);
+        assert_eq!(p.place(&job(0), &cost(), &state(0, 0)), Device::Ssd);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(FirstFit::new().name(), "FirstFit");
+    }
+}

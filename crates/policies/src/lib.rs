@@ -1,0 +1,30 @@
+//! Baseline storage-placement policies from Section 3 of the BYOM paper.
+//!
+//! Three baselines are implemented against the [`byom_sim::PlacementPolicy`]
+//! interface:
+//!
+//! * [`FirstFit`] — the production-style static heuristic: place a job on SSD
+//!   whenever its peak footprint fits in the currently free SSD capacity.
+//! * [`CategoryHeuristic`] — the adaptive per-category admission heuristic
+//!   modelled after CacheSack (Yang et al., ATC'22): rank job categories by
+//!   their measured TCO savings and admit the best categories whose combined
+//!   space usage fits the SSD.
+//! * [`LifetimeMlBaseline`] — the ML baseline following Zhou & Maas (MLSys'21):
+//!   predict a distribution over file lifetime and admit jobs whose predicted
+//!   `μ + σ` lifetime is below a time-to-live threshold.
+//!
+//! The paper's own method (Adaptive Ranking) and its non-ML ablation
+//! (Adaptive Hash) live in `byom-core`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod first_fit;
+pub mod heuristic;
+pub mod ml_baseline;
+pub mod oracle_policy;
+
+pub use first_fit::FirstFit;
+pub use heuristic::{CategoryHeuristic, HeuristicConfig};
+pub use ml_baseline::{LifetimeMlBaseline, LifetimeModelConfig};
+pub use oracle_policy::OraclePolicy;

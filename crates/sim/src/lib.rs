@@ -1,0 +1,44 @@
+//! Discrete-event SSD/HDD tiering simulator.
+//!
+//! This crate reproduces the paper's large-scale simulation methodology
+//! (Section 5.1): placement policies observe jobs in arrival order and decide
+//! whether to schedule each job's intermediate files on SSD or HDD. The SSD
+//! has a fixed space quota; a job scheduled to SSD that only partially fits
+//! spills the remainder over to HDD. The simulator tracks realized SSD
+//! fractions per job, produces the paper's TCO/TCIO savings metrics via
+//! `byom-cost`, and feeds placement outcomes back to adaptive policies.
+//!
+//! ```
+//! use byom_cost::{CostModel, CostRates};
+//! use byom_sim::{Device, JobOutcome, PlacementPolicy, SimConfig, Simulator, SystemState};
+//! use byom_trace::{ClusterSpec, ShuffleJob, TraceGenerator};
+//!
+//! /// A trivial policy that sends everything to SSD.
+//! #[derive(Debug)]
+//! struct AlwaysSsd;
+//! impl PlacementPolicy for AlwaysSsd {
+//!     fn name(&self) -> &str { "always-ssd" }
+//!     fn place(&mut self, _job: &ShuffleJob, _cost: &byom_cost::JobCost, _state: &SystemState) -> Device {
+//!         Device::Ssd
+//!     }
+//! }
+//!
+//! let trace = TraceGenerator::new(5).generate(&ClusterSpec::balanced(0), 3_600.0);
+//! let model = CostModel::new(CostRates::default());
+//! let config = SimConfig { ssd_capacity_bytes: trace.peak_space_usage() / 10 };
+//! let result = Simulator::new(config, model).run(&trace, &mut AlwaysSsd);
+//! assert_eq!(result.outcomes.len(), trace.len());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod policy;
+pub mod result;
+pub mod runtime;
+pub mod simulator;
+
+pub use policy::{Device, JobOutcome, PlacementPolicy, SystemState};
+pub use result::SimulationResult;
+pub use runtime::application_runtime_savings_percent;
+pub use simulator::{SimConfig, Simulator};

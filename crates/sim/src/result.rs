@@ -1,0 +1,144 @@
+//! Simulation results: per-job outcomes, aggregate savings, and the
+//! derived spillover statistics used by feedback-driven policies and by
+//! the Figure 16 dynamics plots.
+
+use crate::policy::{Device, JobOutcome};
+use byom_cost::{JobCost, SavingsSummary};
+use serde::{Deserialize, Serialize};
+
+/// The output of one simulator run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationResult {
+    /// The policy that produced this result.
+    pub policy_name: String,
+    /// The SSD quota the run used, in bytes.
+    pub ssd_capacity_bytes: u64,
+    /// Per-job realized outcomes, in arrival order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Per-job cost quantities, parallel to `outcomes`.
+    pub costs: Vec<JobCost>,
+    /// Aggregate savings relative to the all-on-HDD baseline.
+    pub savings: SavingsSummary,
+    /// Peak SSD occupancy observed during the run.
+    pub peak_ssd_occupancy_bytes: u64,
+}
+
+impl SimulationResult {
+    /// TCO savings percent (convenience forward to the summary).
+    pub fn tco_savings_percent(&self) -> f64 {
+        self.savings.tco_savings_percent()
+    }
+
+    /// TCIO savings percent (convenience forward to the summary).
+    pub fn tcio_savings_percent(&self) -> f64 {
+        self.savings.tcio_savings_percent()
+    }
+
+    /// Number of jobs the policy scheduled onto SSD (whether or not they fit).
+    pub fn jobs_scheduled_to_ssd(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.scheduled == Device::Ssd)
+            .count()
+    }
+
+    /// Number of jobs that spilled over (scheduled to SSD but not fully fit).
+    pub fn jobs_spilled(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.spilled()).count()
+    }
+
+    /// The paper's spillover-TCIO percentage evaluated over all outcomes at
+    /// the end of the run: spilled TCIO of SSD-scheduled jobs divided by the
+    /// total TCIO of SSD-scheduled jobs. Returns 0 if nothing was scheduled
+    /// to SSD.
+    pub fn spillover_tcio_percent(&self) -> f64 {
+        let mut spilled = 0.0;
+        let mut scheduled = 0.0;
+        for o in &self.outcomes {
+            if o.scheduled == Device::Ssd {
+                scheduled += o.tcio_hdd;
+                spilled += o.spillover_tcio(o.end);
+            }
+        }
+        if scheduled <= 0.0 {
+            0.0
+        } else {
+            spilled / scheduled * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byom_trace::JobId;
+
+    fn outcome(id: u64, scheduled: Device, fraction: f64) -> JobOutcome {
+        JobOutcome {
+            job_id: JobId(id),
+            arrival: 0.0,
+            end: 100.0,
+            scheduled,
+            ssd_fraction: fraction,
+            spillover_time: if fraction < 1.0 && scheduled == Device::Ssd {
+                Some(0.0)
+            } else {
+                None
+            },
+            tcio_hdd: 1.0,
+            size_bytes: 10,
+        }
+    }
+
+    fn cost(id: u64) -> JobCost {
+        JobCost {
+            id: JobId(id),
+            arrival: 0.0,
+            lifetime: 100.0,
+            size_bytes: 10,
+            tcio_hdd: 1.0,
+            tco_hdd: 2.0,
+            tco_ssd: 1.0,
+            io_density: 1.0,
+        }
+    }
+
+    fn result(outcomes: Vec<JobOutcome>) -> SimulationResult {
+        let costs: Vec<JobCost> = (0..outcomes.len() as u64).map(cost).collect();
+        SimulationResult {
+            policy_name: "test".into(),
+            ssd_capacity_bytes: 100,
+            outcomes,
+            costs,
+            savings: SavingsSummary::default(),
+            peak_ssd_occupancy_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn counts_scheduled_and_spilled() {
+        let r = result(vec![
+            outcome(0, Device::Ssd, 1.0),
+            outcome(1, Device::Ssd, 0.5),
+            outcome(2, Device::Hdd, 0.0),
+        ]);
+        assert_eq!(r.jobs_scheduled_to_ssd(), 2);
+        assert_eq!(r.jobs_spilled(), 1);
+    }
+
+    #[test]
+    fn spillover_percent_zero_when_nothing_scheduled() {
+        let r = result(vec![outcome(0, Device::Hdd, 0.0)]);
+        assert_eq!(r.spillover_tcio_percent(), 0.0);
+    }
+
+    #[test]
+    fn spillover_percent_reflects_unrealized_tcio() {
+        // Two SSD-scheduled jobs, one fully fit, one fully spilled.
+        let r = result(vec![
+            outcome(0, Device::Ssd, 1.0),
+            outcome(1, Device::Ssd, 0.0),
+        ]);
+        assert!((r.spillover_tcio_percent() - 50.0).abs() < 1e-9);
+    }
+}

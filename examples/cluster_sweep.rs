@@ -1,0 +1,51 @@
+//! Cluster sweep: run all compared methods across several clusters of the
+//! evaluation fleet at a fixed SSD quota, the scenario behind the paper's
+//! Figure 6.
+//!
+//! Run with: `cargo run --release --example cluster_sweep`
+
+use byom::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quota = 0.01;
+    println!("method comparison at a {:.0}% SSD quota\n", quota * 100.0);
+    println!(
+        "{:<8} {:<18} {:>14} {:>15}",
+        "cluster", "method", "TCO savings %", "TCIO savings %"
+    );
+
+    for spec in ClusterSpec::evaluation_fleet().into_iter().take(4) {
+        let id = spec.id;
+        let train = TraceGenerator::new(100 + u64::from(id)).generate(&spec, 8.0 * 3600.0);
+        let test = TraceGenerator::new(200 + u64::from(id)).generate(&spec, 4.0 * 3600.0);
+        let cost_model = CostModel::new(CostRates::default());
+        let trained = ByomPipeline::builder()
+            .num_categories(15)
+            .gbdt_trees(40)
+            .build()
+            .train(&train, &cost_model)?;
+
+        let sim = Simulator::new(SimConfig::from_quota_fraction(&test, quota), cost_model);
+
+        // The three baselines plus the two BYOM variants.
+        let mut results = Vec::new();
+        results.push(sim.run(&test, &mut FirstFit::new()));
+        results.push(sim.run(&test, &mut CategoryHeuristic::default()));
+        let mut ml = LifetimeMlBaseline::train(Default::default(), &train)?;
+        results.push(sim.run(&test, &mut ml));
+        results.push(sim.run(&test, &mut trained.adaptive_hash_policy()));
+        results.push(sim.run(&test, &mut trained.adaptive_ranking_policy()));
+
+        for r in &results {
+            println!(
+                "C{:<7} {:<18} {:>14.2} {:>15.2}",
+                id,
+                r.policy_name,
+                r.tco_savings_percent(),
+                r.tcio_savings_percent()
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

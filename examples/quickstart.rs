@@ -1,0 +1,54 @@
+//! Quickstart: train a BYOM deployment on a synthetic cluster and compare it
+//! against FirstFit at a tight SSD quota.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use byom::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic "historical week" (scaled down to 12 hours) and an "online
+    // week" (6 hours) of one cluster's shuffle jobs.
+    let spec = ClusterSpec::balanced(0);
+    let train = TraceGenerator::new(1).generate(&spec, 12.0 * 3600.0);
+    let test = TraceGenerator::new(2).generate(&spec, 6.0 * 3600.0);
+    let cost_model = CostModel::new(CostRates::default());
+
+    println!(
+        "training trace: {} jobs, test trace: {} jobs, test peak space {:.1} GiB",
+        train.len(),
+        test.len(),
+        test.peak_space_usage() as f64 / (1u64 << 30) as f64
+    );
+
+    // Offline: fit the category labeler and the per-cluster category model.
+    let trained = ByomPipeline::builder()
+        .num_categories(15)
+        .gbdt_trees(50)
+        .build()
+        .train(&train, &cost_model)?;
+
+    // Online: replay the test week at a 1% SSD quota.
+    let quota = 0.01;
+    let sim = Simulator::new(SimConfig::from_quota_fraction(&test, quota), cost_model);
+
+    let first_fit = sim.run(&test, &mut FirstFit::new());
+    let ranking = sim.run(&test, &mut trained.adaptive_ranking_policy());
+
+    println!("\nat a {:.0}% SSD quota:", quota * 100.0);
+    for result in [&first_fit, &ranking] {
+        println!(
+            "  {:<18} TCO savings {:>6.2}%   TCIO savings {:>6.2}%   jobs on SSD {:>5}",
+            result.policy_name,
+            result.tco_savings_percent(),
+            result.tcio_savings_percent(),
+            result.savings.jobs_on_ssd,
+        );
+    }
+    if first_fit.tco_savings_percent() > 0.0 {
+        println!(
+            "\nAdaptive Ranking saves {:.2}x the TCO of FirstFit",
+            ranking.tco_savings_percent() / first_fit.tco_savings_percent()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! # BYOM storage placement — reproduction facade
+//!
+//! This crate re-exports the full reproduction of *"A Bring-Your-Own-Model
+//! Approach for ML-Driven Storage Placement in Warehouse-Scale Computers"*
+//! (MLSys 2025) under a single dependency, so downstream users can write
+//! `use byom::prelude::*;` and get the trace generator, cost model,
+//! GBDT library, oracle solver, simulator, baseline policies, and the BYOM
+//! pipeline itself.
+//!
+//! The individual crates remain usable on their own:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`trace`] | synthetic production traces, job model, features, encoder |
+//! | [`cost`] | TCIO / TCO cost model and savings accounting |
+//! | [`gbdt`] | gradient boosted decision trees (training, inference, importance) |
+//! | [`solver`] | clairvoyant temporal-knapsack oracle |
+//! | [`sim`] | SSD/HDD tiering simulator with spillover |
+//! | [`policies`] | FirstFit, CacheSack-style heuristic, ML lifetime baseline |
+//! | [`core`] | category labels, category models, Algorithm 1, BYOM pipeline |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use byom::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. A synthetic "historical week" of one cluster's shuffle jobs.
+//! let train = TraceGenerator::new(1).generate(&ClusterSpec::balanced(0), 4.0 * 3600.0);
+//! let test = TraceGenerator::new(2).generate(&ClusterSpec::balanced(0), 2.0 * 3600.0);
+//! let cost_model = CostModel::new(CostRates::default());
+//!
+//! // 2. Train the BYOM deployment (labeler + per-cluster category model).
+//! let trained = ByomPipeline::builder()
+//!     .num_categories(5)
+//!     .gbdt_trees(10)
+//!     .build()
+//!     .train(&train, &cost_model)?;
+//!
+//! // 3. Replay the online week against the adaptive ranking policy.
+//! let sim = Simulator::new(SimConfig::from_quota_fraction(&test, 0.05), cost_model);
+//! let result = sim.run(&test, &mut trained.adaptive_ranking_policy());
+//! println!("TCO savings: {:.2}%", result.tco_savings_percent());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use byom_core as core;
+pub use byom_cost as cost;
+pub use byom_gbdt as gbdt;
+pub use byom_policies as policies;
+pub use byom_sim as sim;
+pub use byom_solver as solver;
+pub use byom_trace as trace;
+
+/// Commonly used types from across the workspace.
+pub mod prelude {
+    pub use byom_core::{
+        AdaptiveConfig, AdaptivePolicy, ByomPipeline, CategoryLabeler, CategoryModel,
+        CategoryModelConfig, HashCategorizer, TrainedByom,
+    };
+    pub use byom_cost::{CostModel, CostRates, JobCost, Placement, SavingsSummary};
+    pub use byom_gbdt::{Dataset, GbdtParams, GradientBoostedTrees};
+    pub use byom_policies::{CategoryHeuristic, FirstFit, LifetimeMlBaseline, OraclePolicy};
+    pub use byom_sim::{
+        application_runtime_savings_percent, Device, JobOutcome, PlacementPolicy, SimConfig,
+        SimulationResult, Simulator, SystemState,
+    };
+    pub use byom_solver::{Oracle, OracleObjective, OracleSolution};
+    pub use byom_trace::{
+        Archetype, ClusterSpec, FeatureEncoder, JobFeatures, JobId, ShuffleJob, Trace,
+        TraceGenerator,
+    };
+}
