@@ -46,5 +46,10 @@ fn bench_cost_model(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trace_generation, bench_simulator, bench_cost_model);
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_simulator,
+    bench_cost_model
+);
 criterion_main!(benches);

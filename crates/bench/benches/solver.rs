@@ -17,9 +17,7 @@ fn bench_oracle(c: &mut Criterion) {
         let capacity = trace.peak_space_usage() / 100;
         group.throughput(Throughput::Elements(costs.len() as u64));
         group.bench_function(format!("tco_greedy_{}h_{}jobs", hours, costs.len()), |b| {
-            b.iter(|| {
-                black_box(Oracle::new(OracleObjective::Tco, capacity).solve(&costs))
-            })
+            b.iter(|| black_box(Oracle::new(OracleObjective::Tco, capacity).solve(&costs)))
         });
     }
     // Quota sweep on a fixed trace.

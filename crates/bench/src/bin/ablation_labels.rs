@@ -56,7 +56,11 @@ fn main() {
         .map(|c| c.io_density)
         .collect();
     let max_density = positive.iter().cloned().fold(1.0, f64::max);
-    let min_density = positive.iter().cloned().fold(max_density, f64::min).max(1e-3);
+    let min_density = positive
+        .iter()
+        .cloned()
+        .fold(max_density, f64::min)
+        .max(1e-3);
 
     // Quantile (paper), linear, and logarithmic threshold designs.
     let quantile = CategoryLabeler::fit(&train_costs, n);
@@ -69,7 +73,12 @@ fn main() {
 
     let mut table = Table::new(
         "Label-design ablation (N = 8, 10% quota)",
-        &["design", "class imbalance (max/mean)", "top-1 accuracy", "TCO savings %"],
+        &[
+            "design",
+            "class imbalance (max/mean)",
+            "top-1 accuracy",
+            "TCO savings %",
+        ],
     );
 
     let config = CategoryModelConfig {
@@ -116,5 +125,7 @@ fn main() {
 
     println!("{}", table.render());
     println!("Quantile labels keep classes balanced (imbalance near 1); linear and logarithmic");
-    println!("spacing concentrate most jobs in a few classes, which is why the paper rejects them.");
+    println!(
+        "spacing concentrate most jobs in a few classes, which is why the paper rejects them."
+    );
 }

@@ -20,25 +20,40 @@ fn main() {
     let hours = 12usize;
     let generator = TraceGenerator::new(11);
     let workloads = [
-        ("Workload 0 (query/join)", single_archetype_cluster(0, Archetype::QueryJoin)),
-        ("Workload 1 (video processing)", single_archetype_cluster(1, Archetype::VideoProcessing)),
+        (
+            "Workload 0 (query/join)",
+            single_archetype_cluster(0, Archetype::QueryJoin),
+        ),
+        (
+            "Workload 1 (video processing)",
+            single_archetype_cluster(1, Archetype::VideoProcessing),
+        ),
     ];
 
     for (name, spec) in workloads {
         let trace = generator.generate(&spec, hours as f64 * 3600.0);
         let mut table = Table::new(
             format!("Figure 1: {name} ({} jobs)", trace.len()),
-            &["hour", "space usage (GiB)", "mean lifetime (s)", "mean I/O density"],
+            &[
+                "hour",
+                "space usage (GiB)",
+                "mean lifetime (s)",
+                "mean I/O density",
+            ],
         );
         for h in 0..hours {
             let lo = h as f64 * 3600.0;
             let hi = lo + 3600.0;
-            let jobs: Vec<_> = trace.iter().filter(|j| j.arrival >= lo && j.arrival < hi).collect();
+            let jobs: Vec<_> = trace
+                .iter()
+                .filter(|j| j.arrival >= lo && j.arrival < hi)
+                .collect();
             if jobs.is_empty() {
                 table.row(&[h.to_string(), "0".into(), "-".into(), "-".into()]);
                 continue;
             }
-            let space: f64 = jobs.iter().map(|j| j.size_bytes as f64).sum::<f64>() / (1u64 << 30) as f64;
+            let space: f64 =
+                jobs.iter().map(|j| j.size_bytes as f64).sum::<f64>() / (1u64 << 30) as f64;
             let lifetime: f64 = jobs.iter().map(|j| j.lifetime).sum::<f64>() / jobs.len() as f64;
             let density: f64 = jobs.iter().map(|j| j.io_density()).sum::<f64>() / jobs.len() as f64;
             table.row(&[h.to_string(), f2(space), f2(lifetime), f2(density)]);

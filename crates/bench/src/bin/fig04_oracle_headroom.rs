@@ -46,9 +46,21 @@ fn main() {
         table.row(&[
             format!("{:.0}%", quota * 100.0),
             ssd_n.to_string(),
-            f2(if ssd_n > 0 { ssd_density / ssd_n as f64 } else { 0.0 }),
-            f2(if hdd_n > 0 { hdd_density / hdd_n as f64 } else { 0.0 }),
-            if min_admitted.is_finite() { f2(min_admitted) } else { "-".into() },
+            f2(if ssd_n > 0 {
+                ssd_density / ssd_n as f64
+            } else {
+                0.0
+            }),
+            f2(if hdd_n > 0 {
+                hdd_density / hdd_n as f64
+            } else {
+                0.0
+            }),
+            if min_admitted.is_finite() {
+                f2(min_admitted)
+            } else {
+                "-".into()
+            },
         ]);
     }
     println!("{}", table.render());

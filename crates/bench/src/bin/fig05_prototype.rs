@@ -47,7 +47,10 @@ fn main() {
     );
 
     for quota in [0.01, 0.20] {
-        let sim = Simulator::new(SimConfig::from_quota_fraction(&prototype, quota), ctx.cost_model);
+        let sim = Simulator::new(
+            SimConfig::from_quota_fraction(&prototype, quota),
+            ctx.cost_model,
+        );
         let mut first_fit = FirstFit::new();
         let ff = sim.run(&prototype, &mut first_fit);
         let mut ranking = ctx.trained.adaptive_ranking_policy();

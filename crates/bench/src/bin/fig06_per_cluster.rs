@@ -2,7 +2,7 @@
 //! fixed 1% SSD quota, comparing the five online methods.
 
 use byom_bench::report::f2;
-use byom_bench::{ExperimentContext, ExperimentParams, Table};
+use byom_bench::{run_clusters_parallel, ExperimentContext, ExperimentParams, Table};
 use byom_trace::ClusterSpec;
 
 fn main() {
@@ -16,22 +16,44 @@ fn main() {
 
     let mut tco = Table::new(
         "Figure 6 (top): TCO savings % per cluster at 1% SSD quota",
-        &["cluster", "FirstFit", "Heuristic", "ML Baseline", "Adaptive Hash", "Adaptive Ranking"],
+        &[
+            "cluster",
+            "FirstFit",
+            "Heuristic",
+            "ML Baseline",
+            "Adaptive Hash",
+            "Adaptive Ranking",
+        ],
     );
     let mut tcio = Table::new(
         "Figure 6 (bottom): TCIO savings % per cluster at 1% SSD quota",
-        &["cluster", "FirstFit", "Heuristic", "ML Baseline", "Adaptive Hash", "Adaptive Ranking"],
+        &[
+            "cluster",
+            "FirstFit",
+            "Heuristic",
+            "ML Baseline",
+            "Adaptive Hash",
+            "Adaptive Ranking",
+        ],
     );
     let mut ratios = Vec::new();
 
-    for spec in ClusterSpec::evaluation_fleet() {
+    // Each cluster's experiment is independent; fan them out across cores.
+    let fleet = ClusterSpec::evaluation_fleet();
+    let per_cluster = run_clusters_parallel(&fleet, params.parallelism, |_, spec| {
         let id = spec.id;
-        let ctx = ExperimentContext::prepare(spec, ExperimentParams {
-            train_seed: 1001 + u64::from(id),
-            test_seed: 2002 + u64::from(id),
-            ..params
-        });
-        let results = ctx.run_all_methods(quota, false);
+        let ctx = ExperimentContext::prepare(
+            spec.clone(),
+            ExperimentParams {
+                train_seed: 1001 + u64::from(id),
+                test_seed: 2002 + u64::from(id),
+                ..params
+            },
+        );
+        (id, ctx.run_all_methods(quota, false))
+    });
+
+    for (id, results) in per_cluster {
         let row_tco: Vec<String> = std::iter::once(format!("C{id}"))
             .chain(results.iter().map(|r| f2(r.tco_savings_percent)))
             .collect();

@@ -2,7 +2,7 @@
 //! compared methods (five online policies plus the two clairvoyant oracles).
 
 use byom_bench::report::f2;
-use byom_bench::{ExperimentContext, Table};
+use byom_bench::{run_quotas_parallel, ExperimentContext, Table};
 
 fn main() {
     let ctx = ExperimentContext::default_cluster();
@@ -35,8 +35,10 @@ fn main() {
         ],
     );
 
-    for quota in quotas {
-        let results = ctx.run_all_methods(quota, true);
+    // The quota operating points are independent given the trained context;
+    // sweep them across cores (0 = all available).
+    let all_results = run_quotas_parallel(&ctx, &quotas, true, ctx.params.parallelism);
+    for (quota, results) in quotas.iter().zip(all_results) {
         let row: Vec<String> = std::iter::once(format!("{:.0}%", quota * 100.0))
             .chain(results.iter().map(|r| f2(r.tco_savings_percent)))
             .collect();

@@ -6,7 +6,7 @@
 //! worst.
 
 use byom_bench::report::f2;
-use byom_bench::{ExperimentContext, ExperimentParams, Table};
+use byom_bench::{run_clusters_parallel, ExperimentContext, ExperimentParams, Table};
 use byom_core::{AdaptivePolicy, ByomPipeline};
 use byom_policies::CategoryHeuristic;
 use byom_trace::{ClusterSpec, TraceGenerator};
@@ -28,23 +28,30 @@ fn main() {
         ClusterSpec::skewed(2, byom_trace::Archetype::LogProcessing),
         ClusterSpec::specialized(3),
     ];
-    let mut trained = Vec::new();
-    for spec in &sources {
+    // Each source cluster's model is independent; train them across cores.
+    let trained = run_clusters_parallel(&sources, params.parallelism, |_, spec| {
         let train = TraceGenerator::new(1001 + u64::from(spec.id))
-            .generate(spec, params.train_hours * 3600.0);
-        let t = ByomPipeline::builder()
+            .generate_cached(spec, params.train_hours * 3600.0);
+        ByomPipeline::builder()
             .num_categories(params.num_categories)
             .gbdt_trees(params.gbdt_trees)
+            .parallelism(params.parallelism)
             .build()
             .train(&train, &ctx.cost_model)
-            .expect("training succeeds");
-        trained.push(t);
-    }
+            .expect("training succeeds")
+    });
 
     let quotas = [0.01, 0.05, 0.1, 0.2, 0.4, 0.8];
     let mut table = Table::new(
         "Figure 8: TCO savings % on cluster C0, models trained on C0..C3",
-        &["quota", "train C0", "train C1", "train C2", "train C3", "best baseline (Heuristic)"],
+        &[
+            "quota",
+            "train C0",
+            "train C1",
+            "train C2",
+            "train C3",
+            "best baseline (Heuristic)",
+        ],
     );
     for quota in quotas {
         let mut row = vec![format!("{:.0}%", quota * 100.0)];
@@ -54,7 +61,9 @@ fn main() {
             row.push(f2(result.tco_savings_percent()));
         }
         let mut heuristic = CategoryHeuristic::default();
-        row.push(f2(ctx.run_policy(quota, &mut heuristic).tco_savings_percent()));
+        row.push(f2(ctx
+            .run_policy(quota, &mut heuristic)
+            .tco_savings_percent()));
         table.row(&row);
     }
     println!("{}", table.render());

@@ -35,12 +35,19 @@ fn main() {
         }
     }
     println!("{}", latency.render());
-    println!("Paper reference: ~4 ms/job (Python prototype); ~99 ms/job for the Transformer baseline.\n");
+    println!(
+        "Paper reference: ~4 ms/job (Python prototype); ~99 ms/job for the Transformer baseline.\n"
+    );
 
     // (b) Accuracy vs training size across clusters.
     let mut accuracy = Table::new(
         "Figure 9b: top-1 accuracy vs training-set size (15-category models)",
-        &["cluster", "training jobs", "top-1 accuracy", "top-3 accuracy"],
+        &[
+            "cluster",
+            "training jobs",
+            "top-1 accuracy",
+            "top-3 accuracy",
+        ],
     );
     let eval_params = ExperimentParams {
         train_hours: 8.0,
@@ -50,8 +57,10 @@ fn main() {
     };
     for spec in ClusterSpec::evaluation_fleet().into_iter().take(5) {
         let id = spec.id;
-        let train = TraceGenerator::new(3000 + u64::from(id)).generate(&spec, eval_params.train_hours * 3600.0);
-        let test = TraceGenerator::new(4000 + u64::from(id)).generate(&spec, eval_params.test_hours * 3600.0);
+        let train = TraceGenerator::new(3000 + u64::from(id))
+            .generate(&spec, eval_params.train_hours * 3600.0);
+        let test = TraceGenerator::new(4000 + u64::from(id))
+            .generate(&spec, eval_params.test_hours * 3600.0);
         let trained = ByomPipeline::builder()
             .num_categories(15)
             .gbdt_trees(eval_params.gbdt_trees)
@@ -81,7 +90,13 @@ fn main() {
         .expect("importance computation succeeds");
     let mut imp_table = Table::new(
         "Figure 9c: feature-group importance (normalized AUC decrease) per category",
-        &["category", "A: historical", "B: exec metadata", "C: allocated res", "T: timestamp"],
+        &[
+            "category",
+            "A: historical",
+            "B: exec metadata",
+            "C: allocated res",
+            "T: timestamp",
+        ],
     );
     for (category, row) in importance.iter().enumerate() {
         imp_table.row(&[

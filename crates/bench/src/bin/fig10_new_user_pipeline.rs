@@ -77,7 +77,12 @@ fn main() {
     );
     let mut pipe_table = Table::new(
         "Figure 10 (lower): TCO savings % with vs without the held-out pipeline in training",
-        &["cluster", "quota", "train with pipeline", "train without pipeline"],
+        &[
+            "cluster",
+            "quota",
+            "train with pipeline",
+            "train without pipeline",
+        ],
     );
 
     for spec in ClusterSpec::evaluation_fleet().into_iter().take(3) {

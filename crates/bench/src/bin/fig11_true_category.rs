@@ -15,7 +15,11 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 11: TCO savings % — predicted vs true category",
-        &["quota", "Predicted category (Adaptive Ranking)", "True category"],
+        &[
+            "quota",
+            "Predicted category (Adaptive Ranking)",
+            "True category",
+        ],
     );
     for quota in quotas {
         let predicted = ctx

@@ -34,8 +34,7 @@ fn main() {
                         initial_act: 1,
                         signal: FeedbackSignal::SpilloverTcio,
                     };
-                    let mut policy =
-                        AdaptivePolicy::new(ctx.trained.model().clone(), config);
+                    let mut policy = AdaptivePolicy::new(ctx.trained.model().clone(), config);
                     let savings = ctx.run_policy(quota, &mut policy).tco_savings_percent();
                     min = min.min(savings);
                     max = max.max(savings);
@@ -58,7 +57,10 @@ fn main() {
     );
     for quota in [0.01, 0.1, 0.5] {
         let mut row = vec![format!("{:.0}%", quota * 100.0)];
-        for signal in [FeedbackSignal::SpilloverTcio, FeedbackSignal::SpilloverBytes] {
+        for signal in [
+            FeedbackSignal::SpilloverTcio,
+            FeedbackSignal::SpilloverBytes,
+        ] {
             let config = AdaptiveConfig {
                 num_categories: ctx.params.num_categories,
                 signal,

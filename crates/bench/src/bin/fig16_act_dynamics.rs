@@ -39,5 +39,7 @@ fn main() {
         println!("mean ACT at this quota: {:.2}\n", mean_act);
     }
     println!("Expected shape: tighter quotas hold the ACT in a higher range (fewer categories");
-    println!("admitted); plentiful quotas let it settle at the floor, as in the paper's Figure 16.");
+    println!(
+        "admitted); plentiful quotas let it settle at the floor, as in the paper's Figure 16."
+    );
 }

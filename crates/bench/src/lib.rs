@@ -14,5 +14,7 @@
 pub mod harness;
 pub mod report;
 
-pub use harness::{ExperimentContext, ExperimentParams, MethodResult};
+pub use harness::{
+    run_clusters_parallel, run_quotas_parallel, ExperimentContext, ExperimentParams, MethodResult,
+};
 pub use report::{print_table, Table};

@@ -61,7 +61,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.header));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row));
@@ -107,7 +109,7 @@ mod tests {
 
     #[test]
     fn f2_formats_two_decimals() {
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(3.17159), "3.17");
         assert_eq!(f2(-0.5), "-0.50");
     }
 }

@@ -68,7 +68,10 @@ impl AdaptiveConfig {
     /// Returns a description of the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
         if self.num_categories < 2 {
-            return Err(format!("num_categories must be >= 2, got {}", self.num_categories));
+            return Err(format!(
+                "num_categories must be >= 2, got {}",
+                self.num_categories
+            ));
         }
         if self.lookback_window_secs <= 0.0 || self.decision_interval_secs <= 0.0 {
             return Err("window and decision interval must be positive".into());
@@ -152,7 +155,7 @@ impl AdaptiveSelector {
     pub fn admit(&mut self, now: f64, category: usize) -> bool {
         let expired = self
             .last_decision_time
-            .map_or(true, |td| now >= td + self.config.decision_interval_secs);
+            .is_none_or(|td| now >= td + self.config.decision_interval_secs);
         if expired {
             self.update_act(now);
             self.last_decision_time = Some(now);
@@ -200,7 +203,8 @@ impl AdaptiveSelector {
                         if t > o.arrival && t >= ts {
                             let window = (t - o.arrival).max(1e-9);
                             let spilled_window = (t - ts).max(0.0).min(window);
-                            spilled += (spilled_window / window) * (1.0 - o.ssd_fraction) * o.tcio_hdd;
+                            spilled +=
+                                (spilled_window / window) * (1.0 - o.ssd_fraction) * o.tcio_hdd;
                         }
                     }
                 }
@@ -304,7 +308,11 @@ mod tests {
         for step in 1..=4 {
             let _ = s.admit(10.0 + step as f64 * 10.0, 4);
         }
-        assert_eq!(s.act(), 1, "ACT should decay to the floor with no spillover");
+        assert_eq!(
+            s.act(),
+            1,
+            "ACT should decay to the floor with no spillover"
+        );
     }
 
     #[test]
@@ -364,7 +372,10 @@ mod tests {
             s.observe(&outcome(1000.0 + i as f64, Device::Ssd, 1.0, 1.0));
         }
         let spill = s.spillover_fraction(1010.0);
-        assert!(spill < 0.01, "old spillover should have aged out, got {spill}");
+        assert!(
+            spill < 0.01,
+            "old spillover should have aged out, got {spill}"
+        );
     }
 
     #[test]

@@ -80,7 +80,10 @@ impl TrueCategoryOracle {
     /// Create a ground-truth categorizer from a fitted labeler and the cost
     /// model used to measure jobs.
     pub fn new(labeler: CategoryLabeler, cost_model: CostModel) -> Self {
-        TrueCategoryOracle { labeler, cost_model }
+        TrueCategoryOracle {
+            labeler,
+            cost_model,
+        }
     }
 
     /// The true category of a job, computed from its measured cost.

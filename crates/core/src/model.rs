@@ -80,7 +80,10 @@ impl CategoryModel {
         labeler: &CategoryLabeler,
     ) -> Result<Self, GbdtError> {
         assert_eq!(trace.len(), costs.len(), "trace and costs must be parallel");
-        let rows: Vec<Vec<f64>> = trace.iter().map(|j| config.encoder.encode(&j.features)).collect();
+        let rows: Vec<Vec<f64>> = trace
+            .iter()
+            .map(|j| config.encoder.encode(&j.features))
+            .collect();
         let labels = labeler.label_all(costs);
         let data = Dataset::from_rows(rows, labels)?;
 
@@ -165,7 +168,10 @@ impl CategoryModel {
         seed: u64,
     ) -> Result<Vec<Vec<f64>>, GbdtError> {
         assert_eq!(trace.len(), costs.len(), "trace and costs must be parallel");
-        let rows: Vec<Vec<f64>> = trace.iter().map(|j| self.encoder.encode(&j.features)).collect();
+        let rows: Vec<Vec<f64>> = trace
+            .iter()
+            .map(|j| self.encoder.encode(&j.features))
+            .collect();
         let labels = labeler.label_all(costs);
         let data = Dataset::from_rows(rows, labels)?;
         let per_feature = auc_drop_importance(&self.model, &data, seed);

@@ -24,6 +24,7 @@ pub struct ByomPipelineBuilder {
     gbdt_max_depth: usize,
     valid_fraction: f64,
     adaptive: AdaptiveConfig,
+    parallelism: usize,
 }
 
 impl Default for ByomPipelineBuilder {
@@ -34,6 +35,7 @@ impl Default for ByomPipelineBuilder {
             gbdt_max_depth: 6,
             valid_fraction: 0.2,
             adaptive: AdaptiveConfig::default(),
+            parallelism: 0,
         }
     }
 }
@@ -70,6 +72,15 @@ impl ByomPipelineBuilder {
         self
     }
 
+    /// Worker threads used while training the category model: the per-class
+    /// trees of each boosting round are fitted concurrently. `0` (the
+    /// default) means "all available cores"; `1` trains fully sequentially.
+    /// The trained model is bit-identical regardless of this setting.
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads;
+        self
+    }
+
     /// Finalize the configuration.
     pub fn build(self) -> ByomPipeline {
         ByomPipeline { builder: self }
@@ -100,6 +111,7 @@ impl ByomPipeline {
                     max_depth: b.gbdt_max_depth,
                     ..byom_gbdt::TreeParams::default()
                 },
+                parallelism: b.parallelism,
                 ..GbdtParams::default()
             },
             encoder: byom_trace::FeatureEncoder::default(),

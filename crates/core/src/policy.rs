@@ -152,9 +152,18 @@ mod tests {
     fn plentiful_quota_keeps_act_low() {
         let trace = TraceGenerator::new(54).generate(&ClusterSpec::balanced(0), 6.0 * 3600.0);
         let model = CostModel::new(CostRates::default());
-        let sim = Simulator::new(SimConfig { ssd_capacity_bytes: u64::MAX }, model);
+        let sim = Simulator::new(
+            SimConfig {
+                ssd_capacity_bytes: u64::MAX,
+            },
+            model,
+        );
         let mut policy = AdaptivePolicy::new(HashCategorizer::new(15), config());
         let _ = sim.run(&trace, &mut policy);
-        assert_eq!(policy.act(), 1, "no spillover should keep the ACT at its floor");
+        assert_eq!(
+            policy.act(),
+            1,
+            "no spillover should keep the ACT at its floor"
+        );
     }
 }

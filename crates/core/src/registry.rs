@@ -81,8 +81,7 @@ impl ModelRegistry {
                 let jobs: Vec<ShuffleJob> =
                     indices.iter().map(|&i| train.jobs()[i].clone()).collect();
                 let sub_trace = Trace::new(jobs);
-                let sub_costs: Vec<JobCost> =
-                    indices.iter().map(|&i| costs[i]).collect();
+                let sub_costs: Vec<JobCost> = indices.iter().map(|&i| costs[i]).collect();
                 // Pipelines are homogeneous, so a smaller validation split (or
                 // none) is appropriate; reuse the config as-is and skip
                 // pipelines whose model fails to train.

@@ -35,7 +35,9 @@ impl Placement {
             (0.0..=1.0).contains(&fraction),
             "ssd fraction must be in [0,1], got {fraction}"
         );
-        Placement { ssd_fraction: fraction }
+        Placement {
+            ssd_fraction: fraction,
+        }
     }
 
     /// Whether any part of the job resides on SSD.

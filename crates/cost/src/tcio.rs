@@ -27,8 +27,7 @@ pub fn tcio_on_hdd(job: &ShuffleJob, rates: &CostRates) -> f64 {
     let disk_read_bytes = io.read_bytes as f64 * miss;
 
     // Writes are coalesced into chunks before reaching the disks.
-    let disk_write_ops =
-        (io.written_bytes as f64 / rates.write_coalesce_bytes as f64).ceil();
+    let disk_write_ops = (io.written_bytes as f64 / rates.write_coalesce_bytes as f64).ceil();
     let disk_write_bytes = io.written_bytes as f64;
 
     // Disk busy time: positioning per operation + transfer per byte.
@@ -114,7 +113,10 @@ mod tests {
         let r = rates();
         let a = tcio_on_hdd(&job(100.0, many_small), &r);
         let b = tcio_on_hdd(&job(100.0, few_large), &r);
-        assert!((a - b).abs() < 1e-12, "coalescing should ignore raw write op count");
+        assert!(
+            (a - b).abs() < 1e-12,
+            "coalescing should ignore raw write op count"
+        );
     }
 
     #[test]

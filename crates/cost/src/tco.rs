@@ -69,9 +69,13 @@ mod tests {
                 read_bytes: read,
                 written_bytes: written,
                 read_ops,
-                write_ops: written / (128 * 1024).max(1),
+                write_ops: written / (128 * 1024),
                 dram_hit_fraction: 0.1,
-                mean_read_size: if read_ops > 0 { read / read_ops.max(1) } else { 0 },
+                mean_read_size: if read_ops > 0 {
+                    read / read_ops.max(1)
+                } else {
+                    0
+                },
             },
             features: JobFeatures::default(),
             archetype: 0,
@@ -90,7 +94,9 @@ mod tests {
         let r = CostRates::default();
         let j = job(1 << 30, 1000.0, 5 << 30, 2 << 30, 80_000);
         for b in [tco_hdd(&j, &r), tco_ssd(&j, &r)] {
-            assert!(b.byte >= 0.0 && b.network >= 0.0 && b.server >= 0.0 && b.device_specific >= 0.0);
+            assert!(
+                b.byte >= 0.0 && b.network >= 0.0 && b.server >= 0.0 && b.device_specific >= 0.0
+            );
             assert!(
                 (b.total() - (b.byte + b.network + b.server + b.device_specific)).abs() < 1e-18
             );
@@ -116,7 +122,7 @@ mod tests {
         // 1 TiB footprint, read once sequentially, lives 8 hours.
         let r = CostRates::default();
         let size = 1u64 << 40;
-        let j = job(size, 8.0 * 3600.0, size, size + size / 2, (size / (4 << 20)) as u64);
+        let j = job(size, 8.0 * 3600.0, size, size + size / 2, size / (4 << 20));
         assert!(
             tco_ssd(&j, &r).total() > tco_hdd(&j, &r).total(),
             "hdd {} ssd {}",

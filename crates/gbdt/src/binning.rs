@@ -40,7 +40,7 @@ impl BinMapper {
                 for k in 1..max_bins {
                     let idx = k * (col.len() - 1) / max_bins;
                     let v = (col[idx] + col[(idx + 1).min(col.len() - 1)]) / 2.0;
-                    if e.last().map_or(true, |&last| v > last) {
+                    if e.last().is_none_or(|&last| v > last) {
                         e.push(v);
                     }
                 }
@@ -144,7 +144,9 @@ mod tests {
     #[test]
     fn bin_dataset_shape_and_bounds() {
         let d = Dataset::from_rows(
-            (0..50).map(|i| vec![i as f64, (i * 7 % 13) as f64]).collect(),
+            (0..50)
+                .map(|i| vec![i as f64, (i * 7 % 13) as f64])
+                .collect(),
             vec![0; 50],
         )
         .unwrap();

@@ -162,7 +162,12 @@ mod tests {
 
     fn small() -> Dataset {
         Dataset::from_rows(
-            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0], vec![7.0, 8.0]],
+            vec![
+                vec![1.0, 2.0],
+                vec![3.0, 4.0],
+                vec![5.0, 6.0],
+                vec![7.0, 8.0],
+            ],
             vec![0, 1, 0, 1],
         )
         .unwrap()
@@ -211,7 +216,10 @@ mod tests {
         assert!(d.check_labels(2).is_ok());
         assert!(matches!(
             d.check_labels(1).unwrap_err(),
-            GbdtError::LabelOutOfRange { label: 1, num_classes: 1 }
+            GbdtError::LabelOutOfRange {
+                label: 1,
+                num_classes: 1
+            }
         ));
     }
 

@@ -45,7 +45,10 @@ impl fmt::Display for GbdtError {
         match self {
             GbdtError::EmptyDataset => write!(f, "dataset contains no rows"),
             GbdtError::RaggedRows { expected, found } => {
-                write!(f, "feature rows have inconsistent lengths: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "feature rows have inconsistent lengths: expected {expected}, found {found}"
+                )
             }
             GbdtError::LabelOutOfRange { label, num_classes } => {
                 write!(f, "label {label} is outside [0, {num_classes})")
@@ -70,19 +73,27 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         assert!(GbdtError::EmptyDataset.to_string().contains("no rows"));
-        assert!(GbdtError::RaggedRows { expected: 3, found: 2 }
-            .to_string()
-            .contains("inconsistent"));
-        assert!(GbdtError::LabelOutOfRange { label: 9, num_classes: 5 }
-            .to_string()
-            .contains('9'));
+        assert!(GbdtError::RaggedRows {
+            expected: 3,
+            found: 2
+        }
+        .to_string()
+        .contains("inconsistent"));
+        assert!(GbdtError::LabelOutOfRange {
+            label: 9,
+            num_classes: 5
+        }
+        .to_string()
+        .contains('9'));
         assert!(GbdtError::LengthMismatch { rows: 1, labels: 2 }
             .to_string()
             .contains("labels"));
         assert!(GbdtError::NonFiniteFeature { row: 0, column: 1 }
             .to_string()
             .contains("non-finite"));
-        assert!(GbdtError::InvalidParams("x".into()).to_string().contains('x'));
+        assert!(GbdtError::InvalidParams("x".into())
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

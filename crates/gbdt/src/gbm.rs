@@ -8,6 +8,7 @@ use crate::tree::{Tree, TreeParams};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Hyperparameters of the boosted ensemble.
@@ -31,6 +32,12 @@ pub struct GbdtParams {
     pub early_stopping_rounds: Option<usize>,
     /// RNG seed for row subsampling.
     pub seed: u64,
+    /// Worker threads for training: the per-class trees of each boosting
+    /// round are fitted concurrently, and large nodes search their split
+    /// candidates feature-parallel. `0` means "all available cores" and `1`
+    /// recovers the fully sequential behavior. Any value produces
+    /// **bit-identical** models — parallelism never changes the result.
+    pub parallelism: usize,
 }
 
 impl Default for GbdtParams {
@@ -44,6 +51,7 @@ impl Default for GbdtParams {
             subsample: 0.8,
             early_stopping_rounds: Some(15),
             seed: 42,
+            parallelism: 0,
         }
     }
 }
@@ -72,7 +80,9 @@ impl GbdtParams {
             )));
         }
         if self.num_trees == 0 {
-            return Err(GbdtError::InvalidParams("num_trees must be positive".into()));
+            return Err(GbdtError::InvalidParams(
+                "num_trees must be positive".into(),
+            ));
         }
         if !(self.learning_rate > 0.0 && self.learning_rate <= 1.0) {
             return Err(GbdtError::InvalidParams(format!(
@@ -185,42 +195,65 @@ impl GradientBoostedTrees {
         let mut all_rows: Vec<usize> = (0..n).collect();
         let sample_size = ((n as f64 * params.subsample).round() as usize).clamp(1, n);
 
+        // Thread budget: the per-class trees of one round are independent
+        // (their gradients all derive from the probabilities computed at the
+        // start of the round, and their score updates touch disjoint class
+        // columns), so classes are the outer level of parallelism. Whatever
+        // is left over goes to the per-feature split search inside each tree.
+        let threads = rayon::resolve_threads(params.parallelism);
+        let class_threads = threads.min(k);
+        let tree_threads = (threads / class_threads).max(1);
+
         for round in 0..params.num_trees {
             // Softmax probabilities and gradients.
             let probs = softmax_rows(&scores, k);
-            let mut grad = vec![0.0f64; n];
-            let mut hess = vec![0.0f64; n];
 
             all_rows.shuffle(&mut rng);
             let sample = &all_rows[..sample_size];
 
-            let mut round_trees = Vec::with_capacity(k);
-            for class in 0..k {
-                for i in 0..n {
-                    let p = probs[i * k + class];
-                    let y = if train.labels()[i] == class { 1.0 } else { 0.0 };
-                    grad[i] = p - y;
-                    hess[i] = (p * (1.0 - p)).max(1e-6);
-                }
-                let tree = Tree::fit(
-                    &binned,
-                    train.num_features(),
-                    &mapper,
-                    &grad,
-                    &hess,
-                    sample,
-                    params.tree,
-                );
-                // Update raw scores for all rows.
-                for i in 0..n {
-                    scores[i * k + class] +=
-                        params.learning_rate * tree.predict_row(train.row(i));
-                }
-                if let Some(v) = valid {
-                    for i in 0..v.len() {
-                        valid_scores[i * k + class] +=
-                            params.learning_rate * tree.predict_row(v.row(i));
+            // Fit one tree per class and pre-compute its score contributions.
+            // Executed in class order when `class_threads == 1`; the parallel
+            // schedule is bit-identical because each class's work is a pure
+            // function of the round-start probabilities.
+            let fitted: Vec<(Tree, Vec<f64>, Vec<f64>)> = (0..k)
+                .into_par_iter()
+                .with_max_threads(class_threads)
+                .map(|class| {
+                    let mut grad = vec![0.0f64; n];
+                    let mut hess = vec![0.0f64; n];
+                    for i in 0..n {
+                        let p = probs[i * k + class];
+                        let y = if train.labels()[i] == class { 1.0 } else { 0.0 };
+                        grad[i] = p - y;
+                        hess[i] = (p * (1.0 - p)).max(1e-6);
                     }
+                    let tree = Tree::fit_with_parallelism(
+                        &binned,
+                        train.num_features(),
+                        &mapper,
+                        &grad,
+                        &hess,
+                        sample,
+                        params.tree,
+                        tree_threads,
+                    );
+                    let train_preds: Vec<f64> =
+                        (0..n).map(|i| tree.predict_row(train.row(i))).collect();
+                    let valid_preds: Vec<f64> = valid
+                        .map(|v| (0..v.len()).map(|i| tree.predict_row(v.row(i))).collect())
+                        .unwrap_or_default();
+                    (tree, train_preds, valid_preds)
+                })
+                .collect();
+
+            let mut round_trees = Vec::with_capacity(k);
+            for (class, (tree, train_preds, valid_preds)) in fitted.into_iter().enumerate() {
+                // Update raw scores for all rows.
+                for (i, p) in train_preds.into_iter().enumerate() {
+                    scores[i * k + class] += params.learning_rate * p;
+                }
+                for (i, p) in valid_preds.into_iter().enumerate() {
+                    valid_scores[i * k + class] += params.learning_rate * p;
                 }
                 round_trees.push(tree);
             }
@@ -299,7 +332,9 @@ impl GradientBoostedTrees {
 
     /// Predicted probability rows for a whole dataset.
     pub fn predict_proba_dataset(&self, data: &Dataset) -> Vec<Vec<f64>> {
-        (0..data.len()).map(|i| self.predict_proba(data.row(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict_proba(data.row(i)))
+            .collect()
     }
 
     /// Number of boosting rounds in the final model.

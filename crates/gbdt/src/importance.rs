@@ -76,9 +76,9 @@ pub fn auc_drop_importance(
         // Score all rows with the permuted feature value substituted in.
         let mut permuted_probs = Vec::with_capacity(n);
         let mut row_buf = vec![0.0f64; data.num_features()];
-        for i in 0..n {
+        for (i, &p) in perm.iter().enumerate() {
             row_buf.copy_from_slice(data.row(i));
-            row_buf[feature] = data.value(perm[i], feature);
+            row_buf[feature] = data.value(p, feature);
             permuted_probs.push(model.predict_proba(&row_buf));
         }
         for class in 0..k {

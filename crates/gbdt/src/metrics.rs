@@ -98,7 +98,11 @@ pub fn log_loss(probabilities: &[Vec<f64>], truth: &[usize]) -> f64 {
 ///
 /// # Panics
 /// Panics if the slices differ in length or a label is `>= num_classes`.
-pub fn confusion_matrix(predicted: &[usize], truth: &[usize], num_classes: usize) -> Vec<Vec<usize>> {
+pub fn confusion_matrix(
+    predicted: &[usize],
+    truth: &[usize],
+    num_classes: usize,
+) -> Vec<Vec<usize>> {
     assert_eq!(predicted.len(), truth.len(), "length mismatch");
     let mut m = vec![vec![0usize; num_classes]; num_classes];
     for (&p, &t) in predicted.iter().zip(truth) {
@@ -140,7 +144,9 @@ mod tests {
     fn auc_random_scores_is_half() {
         // Constant scores: every pairing is a tie -> AUC 0.5.
         let scores = [0.5; 10];
-        let labels = [true, false, true, false, true, false, true, false, true, false];
+        let labels = [
+            true, false, true, false, true, false, true, false, true, false,
+        ];
         assert!((binary_auc(&scores, &labels) - 0.5).abs() < 1e-12);
     }
 

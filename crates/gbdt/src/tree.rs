@@ -5,7 +5,14 @@
 //! values use the standard second-order (Newton) estimate `-G / (H + λ)`.
 
 use crate::binning::BinMapper;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Below this many rows a node's split search runs sequentially even when
+/// parallelism is enabled: the histogram work is too small to amortize the
+/// cost of fanning out across threads (deep nodes dominate the node count but
+/// not the runtime).
+const PARALLEL_SPLIT_MIN_ROWS: usize = 512;
 
 /// Hyperparameters of a single tree.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -68,6 +75,8 @@ struct FitContext<'a> {
     grad: &'a [f64],
     hess: &'a [f64],
     params: TreeParams,
+    /// Worker threads for the per-feature split search (1 = sequential).
+    parallelism: usize,
 }
 
 struct BestSplit {
@@ -95,6 +104,31 @@ impl Tree {
         rows: &[usize],
         params: TreeParams,
     ) -> Tree {
+        Self::fit_with_parallelism(binned, num_features, mapper, grad, hess, rows, params, 1)
+    }
+
+    /// Like [`Tree::fit`], but searching split candidates across features on
+    /// up to `parallelism` threads (`0` = all available cores, `1` =
+    /// sequential).
+    ///
+    /// The result is **bit-identical** to the sequential fit: each feature's
+    /// candidate is computed by the same scan, and candidates are reduced in
+    /// feature order with a strict `>` comparison, so ties break toward the
+    /// lowest feature index exactly as the sequential loop does.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or the inputs disagree on the number of rows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_with_parallelism(
+        binned: &[u16],
+        num_features: usize,
+        mapper: &BinMapper,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        params: TreeParams,
+        parallelism: usize,
+    ) -> Tree {
         assert!(!rows.is_empty(), "cannot fit a tree on zero rows");
         assert_eq!(grad.len(), hess.len(), "grad and hess must be parallel");
         assert_eq!(
@@ -109,6 +143,7 @@ impl Tree {
             grad,
             hess,
             params,
+            parallelism: rayon::resolve_threads(parallelism),
         };
         let mut tree = Tree { nodes: Vec::new() };
         let mut rows_owned: Vec<usize> = rows.to_vec();
@@ -118,9 +153,9 @@ impl Tree {
 
     /// Recursively build the subtree for `rows`, returning the node index.
     fn build_node(&mut self, ctx: &FitContext<'_>, rows: &mut [usize], depth: usize) -> usize {
-        let (g_sum, h_sum) = rows.iter().fold((0.0, 0.0), |(g, h), &i| {
-            (g + ctx.grad[i], h + ctx.hess[i])
-        });
+        let (g_sum, h_sum) = rows
+            .iter()
+            .fold((0.0, 0.0), |(g, h), &i| (g + ctx.grad[i], h + ctx.hess[i]));
         let leaf_value = -g_sum / (h_sum + ctx.params.l2_lambda);
 
         let node_idx = self.nodes.len();
@@ -178,48 +213,86 @@ impl Tree {
         g_total: f64,
         h_total: f64,
     ) -> Option<BestSplit> {
+        if ctx.parallelism > 1 && rows.len() >= PARALLEL_SPLIT_MIN_ROWS && ctx.num_features > 1 {
+            // Each feature's candidate is independent; reduce in feature order
+            // with a strict `>` so the winner matches the sequential loop
+            // bit-for-bit (ties break toward the lowest feature index).
+            let candidates: Vec<Option<BestSplit>> = (0..ctx.num_features)
+                .into_par_iter()
+                .with_max_threads(ctx.parallelism)
+                .map(|f| Self::feature_best_split(ctx, rows, f, g_total, h_total))
+                .collect();
+            let mut best: Option<BestSplit> = None;
+            for candidate in candidates.into_iter().flatten() {
+                if best.as_ref().is_none_or(|s| candidate.gain > s.gain) {
+                    best = Some(candidate);
+                }
+            }
+            best
+        } else {
+            let mut best: Option<BestSplit> = None;
+            for f in 0..ctx.num_features {
+                let Some(candidate) = Self::feature_best_split(ctx, rows, f, g_total, h_total)
+                else {
+                    continue;
+                };
+                if best.as_ref().is_none_or(|s| candidate.gain > s.gain) {
+                    best = Some(candidate);
+                }
+            }
+            best
+        }
+    }
+
+    /// The best split candidate considering only feature `f`, or `None` if no
+    /// split on `f` clears `min_split_gain` and the leaf-size constraints.
+    fn feature_best_split(
+        ctx: &FitContext<'_>,
+        rows: &[usize],
+        f: usize,
+        g_total: f64,
+        h_total: f64,
+    ) -> Option<BestSplit> {
         let lambda = ctx.params.l2_lambda;
         let parent_score = g_total * g_total / (h_total + lambda);
+        let num_bins = ctx.mapper.num_bins(f);
+        if num_bins < 2 {
+            return None;
+        }
+        // Histogram of gradient statistics per bin.
+        let mut g_hist = vec![0.0f64; num_bins];
+        let mut h_hist = vec![0.0f64; num_bins];
+        let mut c_hist = vec![0usize; num_bins];
+        for &i in rows {
+            let b = ctx.binned[i * ctx.num_features + f] as usize;
+            g_hist[b] += ctx.grad[i];
+            h_hist[b] += ctx.hess[i];
+            c_hist[b] += 1;
+        }
+        // Scan split points (split after bin b: left = bins 0..=b).
         let mut best: Option<BestSplit> = None;
-
-        for f in 0..ctx.num_features {
-            let num_bins = ctx.mapper.num_bins(f);
-            if num_bins < 2 {
+        let mut g_left = 0.0;
+        let mut h_left = 0.0;
+        let mut c_left = 0usize;
+        for b in 0..num_bins - 1 {
+            g_left += g_hist[b];
+            h_left += h_hist[b];
+            c_left += c_hist[b];
+            let c_right = rows.len() - c_left;
+            if c_left < ctx.params.min_samples_leaf || c_right < ctx.params.min_samples_leaf {
                 continue;
             }
-            // Histogram of gradient statistics per bin.
-            let mut g_hist = vec![0.0f64; num_bins];
-            let mut h_hist = vec![0.0f64; num_bins];
-            let mut c_hist = vec![0usize; num_bins];
-            for &i in rows {
-                let b = ctx.binned[i * ctx.num_features + f] as usize;
-                g_hist[b] += ctx.grad[i];
-                h_hist[b] += ctx.hess[i];
-                c_hist[b] += 1;
-            }
-            // Scan split points (split after bin b: left = bins 0..=b).
-            let mut g_left = 0.0;
-            let mut h_left = 0.0;
-            let mut c_left = 0usize;
-            for b in 0..num_bins - 1 {
-                g_left += g_hist[b];
-                h_left += h_hist[b];
-                c_left += c_hist[b];
-                let c_right = rows.len() - c_left;
-                if c_left < ctx.params.min_samples_leaf || c_right < ctx.params.min_samples_leaf {
-                    continue;
-                }
-                let g_right = g_total - g_left;
-                let h_right = h_total - h_left;
-                let gain = 0.5
-                    * (g_left * g_left / (h_left + lambda)
-                        + g_right * g_right / (h_right + lambda)
-                        - parent_score);
-                if gain > ctx.params.min_split_gain
-                    && best.as_ref().map_or(true, |s| gain > s.gain)
-                {
-                    best = Some(BestSplit { feature: f, bin: b, gain });
-                }
+            let g_right = g_total - g_left;
+            let h_right = h_total - h_left;
+            let gain = 0.5
+                * (g_left * g_left / (h_left + lambda) + g_right * g_right / (h_right + lambda)
+                    - parent_score);
+            if gain > ctx.params.min_split_gain && best.as_ref().is_none_or(|s| gain > s.gain) {
+                best = Some(BestSplit {
+                    feature: f,
+                    bin: b,
+                    gain,
+                });
             }
         }
         best
@@ -419,7 +492,15 @@ mod tests {
         let data = Dataset::from_rows(vec![vec![1.0]], vec![0]).unwrap();
         let mapper = BinMapper::fit(&data, 8);
         let binned = mapper.bin_dataset(&data);
-        let _ = Tree::fit(&binned, 1, &mapper, &[0.0], &[1.0], &[], TreeParams::default());
+        let _ = Tree::fit(
+            &binned,
+            1,
+            &mapper,
+            &[0.0],
+            &[1.0],
+            &[],
+            TreeParams::default(),
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ impl CategoryHeuristic {
 
     /// The category key of a job: its pipeline plus step identity.
     fn category_of(job: &ShuffleJob) -> String {
-        format!("{}::{}", job.features.pipeline_name, job.features.execution_name)
+        format!(
+            "{}::{}",
+            job.features.pipeline_name, job.features.execution_name
+        )
     }
 
     /// Number of categories currently admitted to SSD.
@@ -192,7 +195,10 @@ mod tests {
         for _ in 0..5 {
             let _ = p.place(&job("good", 10), &cost(5.0), &state(1000));
         }
-        assert_eq!(p.place(&job("good", 10), &cost(5.0), &state(1000)), Device::Ssd);
+        assert_eq!(
+            p.place(&job("good", 10), &cost(5.0), &state(1000)),
+            Device::Ssd
+        );
         assert!(p.admission_set_size() >= 1);
     }
 
@@ -205,7 +211,10 @@ mod tests {
         for _ in 0..5 {
             let _ = p.place(&job("bad", 10), &cost(-3.0), &state(1000));
         }
-        assert_eq!(p.place(&job("bad", 10), &cost(-3.0), &state(1000)), Device::Hdd);
+        assert_eq!(
+            p.place(&job("bad", 10), &cost(-3.0), &state(1000)),
+            Device::Hdd
+        );
     }
 
     #[test]
@@ -224,8 +233,14 @@ mod tests {
         }
         let _ = p.place(&job("a", 100), &cost(9.0), &state(150));
         assert!(p.admission_set_size() <= 2);
-        assert_eq!(p.place(&job("a", 100), &cost(9.0), &state(150)), Device::Ssd);
-        assert_eq!(p.place(&job("c", 100), &cost(1.0), &state(150)), Device::Hdd);
+        assert_eq!(
+            p.place(&job("a", 100), &cost(9.0), &state(150)),
+            Device::Ssd
+        );
+        assert_eq!(
+            p.place(&job("c", 100), &cost(1.0), &state(150)),
+            Device::Hdd
+        );
     }
 
     #[test]

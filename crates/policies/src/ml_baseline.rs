@@ -58,7 +58,8 @@ impl LifetimeModelConfig {
     /// Geometric midpoint of a bucket in seconds.
     fn bucket_midpoint(&self, bucket: usize) -> f64 {
         let log_span = (self.max_lifetime_secs / self.min_lifetime_secs).ln();
-        let lo = self.min_lifetime_secs * (log_span * bucket as f64 / self.num_buckets as f64).exp();
+        let lo =
+            self.min_lifetime_secs * (log_span * bucket as f64 / self.num_buckets as f64).exp();
         let hi = self.min_lifetime_secs
             * (log_span * (bucket + 1) as f64 / self.num_buckets as f64).exp();
         (lo * hi).sqrt()
@@ -98,7 +99,9 @@ impl LifetimeMlBaseline {
 
     /// Predicted mean and standard deviation of the job's lifetime (seconds).
     pub fn predict_lifetime(&self, job: &ShuffleJob) -> (f64, f64) {
-        let probs = self.model.predict_proba(&self.encoder.encode(&job.features));
+        let probs = self
+            .model
+            .predict_proba(&self.encoder.encode(&job.features));
         let mut mean = 0.0;
         for (bucket, p) in probs.iter().enumerate() {
             mean += p * self.config.bucket_midpoint(bucket);

@@ -36,7 +36,11 @@ impl OraclePolicy {
     /// # Panics
     /// Panics if the two slices have different lengths.
     pub fn from_selection(name: impl Into<String>, job_ids: &[JobId], on_ssd: &[bool]) -> Self {
-        assert_eq!(job_ids.len(), on_ssd.len(), "selection arrays must be parallel");
+        assert_eq!(
+            job_ids.len(),
+            on_ssd.len(),
+            "selection arrays must be parallel"
+        );
         let decisions = job_ids
             .iter()
             .zip(on_ssd)

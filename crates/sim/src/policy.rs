@@ -33,7 +33,8 @@ pub struct SystemState {
 impl SystemState {
     /// Free SSD capacity in bytes.
     pub fn ssd_free_bytes(&self) -> u64 {
-        self.ssd_capacity_bytes.saturating_sub(self.ssd_occupancy_bytes)
+        self.ssd_capacity_bytes
+            .saturating_sub(self.ssd_occupancy_bytes)
     }
 
     /// Fraction of SSD capacity in use, in `[0, 1]` (0 if capacity is zero).
@@ -165,7 +166,10 @@ mod tests {
     #[test]
     fn spillover_tcio_zero_without_spill_or_for_hdd() {
         assert_eq!(outcome(Device::Ssd, 1.0, None).spillover_tcio(50.0), 0.0);
-        assert_eq!(outcome(Device::Hdd, 0.0, Some(10.0)).spillover_tcio(50.0), 0.0);
+        assert_eq!(
+            outcome(Device::Hdd, 0.0, Some(10.0)).spillover_tcio(50.0),
+            0.0
+        );
     }
 
     #[test]

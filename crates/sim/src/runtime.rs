@@ -52,7 +52,11 @@ mod tests {
                 job_id: JobId(0),
                 arrival: 0.0,
                 end: 100.0,
-                scheduled: if fraction > 0.0 { Device::Ssd } else { Device::Hdd },
+                scheduled: if fraction > 0.0 {
+                    Device::Ssd
+                } else {
+                    Device::Hdd
+                },
                 ssd_fraction: fraction,
                 spillover_time: None,
                 tcio_hdd: tcio,

@@ -82,7 +82,11 @@ impl Simulator {
     /// under the quota at admission time, and the remainder spills to HDD
     /// (mirroring the paper's simulation methodology). SSD space is released
     /// when jobs end.
-    pub fn run<P: PlacementPolicy + ?Sized>(&self, trace: &Trace, policy: &mut P) -> SimulationResult {
+    pub fn run<P: PlacementPolicy + ?Sized>(
+        &self,
+        trace: &Trace,
+        policy: &mut P,
+    ) -> SimulationResult {
         let costs = self.cost_model.cost_trace(trace);
         let capacity = self.config.ssd_capacity_bytes;
 
@@ -308,8 +312,13 @@ mod tests {
         }
         let trace = Trace::new(vec![job(0, 0.0, 10.0, 10), job(1, 5.0, 10.0, 10)]);
         let mut policy = Counting::default();
-        let _ = Simulator::new(SimConfig { ssd_capacity_bytes: 100 }, model())
-            .run(&trace, &mut policy);
+        let _ = Simulator::new(
+            SimConfig {
+                ssd_capacity_bytes: 100,
+            },
+            model(),
+        )
+        .run(&trace, &mut policy);
         assert_eq!(policy.observed, 2);
     }
 

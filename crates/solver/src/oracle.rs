@@ -108,12 +108,14 @@ impl Oracle {
             .filter(|&i| self.objective.value(&jobs[i]) > 0.0 && jobs[i].size_bytes > 0)
             .collect();
 
-        let density = |i: usize| {
-            self.objective.value(&jobs[i]) / jobs[i].ssd_byte_seconds().max(1e-9)
-        };
+        let density =
+            |i: usize| self.objective.value(&jobs[i]) / jobs[i].ssd_byte_seconds().max(1e-9);
+        #[allow(clippy::type_complexity)]
         let orderings: [Box<dyn Fn(&usize, &usize) -> std::cmp::Ordering>; 3] = [
             Box::new(|&a: &usize, &b: &usize| {
-                density(b).partial_cmp(&density(a)).expect("finite densities")
+                density(b)
+                    .partial_cmp(&density(a))
+                    .expect("finite densities")
             }),
             Box::new(|&a: &usize, &b: &usize| {
                 self.objective
@@ -140,9 +142,9 @@ impl Oracle {
             let mut skipped: Vec<usize> = Vec::new();
 
             let try_admit = |i: usize,
-                                 occupancy: &mut SegmentTree,
-                                 on_ssd: &mut Vec<bool>,
-                                 total_value: &mut f64|
+                             occupancy: &mut SegmentTree,
+                             on_ssd: &mut Vec<bool>,
+                             total_value: &mut f64|
              -> bool {
                 let job = &jobs[i];
                 let (lo, hi) = timeline.segment_range(job);
@@ -177,7 +179,7 @@ impl Oracle {
             };
             if best
                 .as_ref()
-                .map_or(true, |b| solution.total_value > b.total_value)
+                .is_none_or(|b| solution.total_value > b.total_value)
             {
                 best = Some(solution);
             }

@@ -91,9 +91,13 @@ impl SegmentTree {
             return self.max[node];
         }
         let mid = (nlo + nhi) / 2;
-        let child = self
-            .max_rec(node * 2, nlo, mid, lo, hi)
-            .max(self.max_rec(node * 2 + 1, mid, nhi, lo, hi));
+        let child = self.max_rec(node * 2, nlo, mid, lo, hi).max(self.max_rec(
+            node * 2 + 1,
+            mid,
+            nhi,
+            lo,
+            hi,
+        ));
         child + self.lazy[node]
     }
 }
@@ -109,7 +113,9 @@ mod tests {
 
     impl Naive {
         fn new(len: usize) -> Self {
-            Naive { values: vec![0.0; len] }
+            Naive {
+                values: vec![0.0; len],
+            }
         }
         fn range_add(&mut self, lo: usize, hi: usize, v: f64) {
             for x in &mut self.values[lo..hi] {
@@ -117,7 +123,10 @@ mod tests {
             }
         }
         fn range_max(&self, lo: usize, hi: usize) -> f64 {
-            self.values[lo..hi].iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            self.values[lo..hi]
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max)
         }
     }
 
@@ -192,7 +201,10 @@ mod tests {
                 } else if lo < hi {
                     let t = tree.range_max(lo, hi);
                     let n = naive.range_max(lo, hi);
-                    assert!((t - n).abs() < 1e-9, "len {len} range {lo}..{hi}: {t} vs {n}");
+                    assert!(
+                        (t - n).abs() < 1e-9,
+                        "len {len} range {lo}..{hi}: {t} vs {n}"
+                    );
                 }
             }
         }

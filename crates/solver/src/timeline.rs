@@ -111,7 +111,10 @@ mod tests {
         let t = Timeline::new(&jobs);
         let (a_lo, a_hi) = t.segment_range(&jobs[0]);
         let (b_lo, b_hi) = t.segment_range(&jobs[1]);
-        assert!(a_hi <= b_lo, "ranges {a_lo}..{a_hi} and {b_lo}..{b_hi} overlap");
+        assert!(
+            a_hi <= b_lo,
+            "ranges {a_lo}..{a_hi} and {b_lo}..{b_hi} overlap"
+        );
         assert!(a_lo < a_hi && b_lo < b_hi);
     }
 

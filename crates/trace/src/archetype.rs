@@ -234,7 +234,10 @@ mod tests {
 
     #[test]
     fn framework_split_matches_appendix() {
-        let fw: Vec<_> = Archetype::all().into_iter().filter(|a| a.is_framework()).collect();
+        let fw: Vec<_> = Archetype::all()
+            .into_iter()
+            .filter(|a| a.is_framework())
+            .collect();
         assert_eq!(fw.len(), 6);
         assert!(!Archetype::MlCheckpoint.is_framework());
         assert!(!Archetype::CompressUpload.is_framework());

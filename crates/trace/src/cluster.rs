@@ -182,7 +182,11 @@ impl ClusterSpec {
     /// would make generation meaningless.
     pub fn total_weight(&self) -> f64 {
         let w: f64 = self.pipelines.iter().map(|p| p.weight).sum();
-        assert!(w > 0.0, "cluster {} has no positive pipeline weights", self.id);
+        assert!(
+            w > 0.0,
+            "cluster {} has no positive pipeline weights",
+            self.id
+        );
         w
     }
 }

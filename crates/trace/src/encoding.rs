@@ -8,7 +8,9 @@
 //! string identifiers are typically fed to tree models without maintaining a
 //! vocabulary.
 
-use crate::features::{FeatureGroup, JobFeatures, FEATURE_GROUPS, FEATURE_NAMES, NUMERIC_FEATURE_COUNT};
+use crate::features::{
+    FeatureGroup, JobFeatures, FEATURE_GROUPS, FEATURE_NAMES, NUMERIC_FEATURE_COUNT,
+};
 use crate::metadata::tokenize;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
@@ -71,7 +73,10 @@ impl FeatureEncoder {
     /// group B, execution metadata).
     pub fn feature_groups(&self) -> Vec<FeatureGroup> {
         let mut groups: Vec<FeatureGroup> = FEATURE_GROUPS.to_vec();
-        groups.extend(std::iter::repeat(FeatureGroup::ExecutionMetadata).take(self.metadata_hash_buckets));
+        groups.extend(std::iter::repeat_n(
+            FeatureGroup::ExecutionMetadata,
+            self.metadata_hash_buckets,
+        ));
         groups
     }
 
@@ -138,7 +143,10 @@ mod tests {
     fn all_encoded_values_are_finite() {
         let enc = FeatureEncoder::default();
         assert!(enc.encode(&features()).iter().all(|v| v.is_finite()));
-        assert!(enc.encode(&JobFeatures::default()).iter().all(|v| v.is_finite()));
+        assert!(enc
+            .encode(&JobFeatures::default())
+            .iter()
+            .all(|v| v.is_finite()));
     }
 
     #[test]
@@ -156,7 +164,10 @@ mod tests {
         let enc = FeatureEncoder::default();
         let v = enc.encode(&features());
         let bucket_sum: f64 = v[NUMERIC_FEATURE_COUNT..].iter().sum();
-        assert!(bucket_sum > 5.0, "expected several tokens hashed, got {bucket_sum}");
+        assert!(
+            bucket_sum > 5.0,
+            "expected several tokens hashed, got {bucket_sum}"
+        );
     }
 
     #[test]

@@ -216,7 +216,10 @@ mod tests {
             user_name: "user".into(),
             ..Default::default()
         };
-        assert_eq!(f.metadata_strings(), ["//a:b", "exec", "pipe", "step", "user"]);
+        assert_eq!(
+            f.metadata_strings(),
+            ["//a:b", "exec", "pipe", "step", "user"]
+        );
     }
 
     #[test]

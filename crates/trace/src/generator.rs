@@ -89,6 +89,11 @@ impl TraceGenerator {
         TraceGenerator { seed }
     }
 
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Generate a trace for one cluster covering `duration_secs` of simulated
     /// time starting at t = 0 (midnight, Monday).
     ///
@@ -128,8 +133,8 @@ impl TraceGenerator {
             if members.is_empty() {
                 continue;
             }
-            let rate = spec.base_arrival_rate * pspec.weight / total_weight
-                * params.relative_arrival_rate;
+            let rate =
+                spec.base_arrival_rate * pspec.weight / total_weight * params.relative_arrival_rate;
 
             match params.periodicity_secs {
                 Some(period) => {
@@ -206,7 +211,10 @@ impl TraceGenerator {
 
     /// Generate traces for a whole fleet of clusters (convenience wrapper).
     pub fn generate_fleet(&self, specs: &[ClusterSpec], duration_secs: f64) -> Vec<Trace> {
-        specs.iter().map(|s| self.generate(s, duration_secs)).collect()
+        specs
+            .iter()
+            .map(|s| self.generate(s, duration_secs))
+            .collect()
     }
 
     fn make_pipeline<R: Rng + ?Sized>(
@@ -296,8 +304,7 @@ impl TraceGenerator {
 
         // Update the pipeline history with a simple TCIO estimate so that the
         // *next* run of this pipeline sees correlated historical features.
-        let effective_ops =
-            read_ops * (1.0 - dram_hit) + written / (1024.0 * 1024.0);
+        let effective_ops = read_ops * (1.0 - dram_hit) + written / (1024.0 * 1024.0);
         let tcio_estimate = effective_ops / lifetime / FEATURE_HDD_OPS_PER_SEC;
         let density = (written + read) / size;
         hist.record(tcio_estimate, size, lifetime, density);
@@ -343,9 +350,18 @@ mod tests {
         let spec = ClusterSpec::balanced(0);
         let trace = TraceGenerator::new(3).generate(&spec, 12_000.0);
         assert!(!trace.jobs().is_empty());
-        assert!(trace.jobs().windows(2).all(|w| w[0].arrival <= w[1].arrival));
-        assert!(trace.jobs().iter().all(|j| j.arrival >= 0.0 && j.arrival < 12_000.0));
-        assert!(trace.jobs().iter().all(|j| j.lifetime > 0.0 && j.size_bytes > 0));
+        assert!(trace
+            .jobs()
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+        assert!(trace
+            .jobs()
+            .iter()
+            .all(|j| j.arrival >= 0.0 && j.arrival < 12_000.0));
+        assert!(trace
+            .jobs()
+            .iter()
+            .all(|j| j.lifetime > 0.0 && j.size_bytes > 0));
     }
 
     #[test]
@@ -381,9 +397,15 @@ mod tests {
         let trace = TraceGenerator::new(6).generate(&spec, 43_200.0);
         let mut by_archetype: HashMap<u8, Vec<f64>> = HashMap::new();
         for j in trace.jobs() {
-            by_archetype.entry(j.archetype).or_default().push(j.io_density());
+            by_archetype
+                .entry(j.archetype)
+                .or_default()
+                .push(j.io_density());
         }
-        assert!(by_archetype.len() >= 4, "expected several archetypes present");
+        assert!(
+            by_archetype.len() >= 4,
+            "expected several archetypes present"
+        );
         let means: Vec<f64> = by_archetype
             .values()
             .map(|v| v.iter().sum::<f64>() / v.len() as f64)

@@ -169,7 +169,8 @@ impl IntoIterator for Trace {
 impl Extend<ShuffleJob> for Trace {
     fn extend<T: IntoIterator<Item = ShuffleJob>>(&mut self, iter: T) {
         self.jobs.extend(iter);
-        self.jobs.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite arrivals"));
+        self.jobs
+            .sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite arrivals"));
     }
 }
 
@@ -230,7 +231,11 @@ mod tests {
 
     #[test]
     fn split_at_partitions_by_arrival() {
-        let t = Trace::new(vec![job(0, 1.0, 1.0, 1), job(1, 5.0, 1.0, 1), job(2, 9.0, 1.0, 1)]);
+        let t = Trace::new(vec![
+            job(0, 1.0, 1.0, 1),
+            job(1, 5.0, 1.0, 1),
+            job(2, 9.0, 1.0, 1),
+        ]);
         let (a, b) = t.split_at(5.0);
         assert_eq!(a.len(), 1);
         assert_eq!(b.len(), 2);
@@ -243,7 +248,10 @@ mod tests {
         assert_eq!(big.len(), 1);
         let merged = Trace::merge([t.clone(), big]);
         assert_eq!(merged.len(), 3);
-        assert!(merged.jobs().windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(merged
+            .jobs()
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
     }
 
     #[test]
@@ -264,14 +272,18 @@ mod tests {
     #[test]
     fn read_jsonl_skips_blank_lines_and_rejects_garbage() {
         let ok = "\n\n";
-        assert!(Trace::read_jsonl(std::io::Cursor::new(ok)).unwrap().is_empty());
+        assert!(Trace::read_jsonl(std::io::Cursor::new(ok))
+            .unwrap()
+            .is_empty());
         let bad = "not json\n";
         assert!(Trace::read_jsonl(std::io::Cursor::new(bad)).is_err());
     }
 
     #[test]
     fn iterator_impls() {
-        let t: Trace = vec![job(0, 2.0, 1.0, 1), job(1, 1.0, 1.0, 1)].into_iter().collect();
+        let t: Trace = vec![job(0, 2.0, 1.0, 1), job(1, 1.0, 1.0, 1)]
+            .into_iter()
+            .collect();
         assert_eq!(t.iter().count(), 2);
         assert_eq!((&t).into_iter().count(), 2);
         let mut t2 = t.clone();

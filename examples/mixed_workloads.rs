@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let framework_jobs = test
         .iter()
-        .filter(|j| Archetype::from_index(j.archetype).map_or(false, |a| a.is_framework()))
+        .filter(|j| Archetype::from_index(j.archetype).is_some_and(|a| a.is_framework()))
         .count();
     println!(
         "test trace: {} jobs ({} framework, {} non-framework)\n",

@@ -44,6 +44,50 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Running experiments in parallel
+//!
+//! Training and the experiment sweeps are embarrassingly parallel, and every
+//! parallel entry point is **deterministic**: any `parallelism` setting
+//! produces bit-identical models and results (`0` = all available cores,
+//! `1` = fully sequential).
+//!
+//! * [`ByomPipeline`](byom_core::ByomPipeline) takes a
+//!   `.parallelism(n)` builder knob; the per-class trees of each boosting
+//!   round are fitted concurrently and large tree nodes search their split
+//!   candidates feature-parallel
+//!   ([`GbdtParams::parallelism`](byom_gbdt::GbdtParams)).
+//! * `byom_bench::run_clusters_parallel` fans a per-cluster experiment out
+//!   across cores, and `byom_bench::run_quotas_parallel` sweeps the quota
+//!   operating points of one prepared context — both return exactly what the
+//!   sequential loop they replace would.
+//! * Repeated trace generations with the same `(seed, spec, duration)` are
+//!   deduplicated process-wide by
+//!   [`TraceGenerator::generate_cached`](byom_trace::TraceGenerator::generate_cached),
+//!   so parallel workers share one generation.
+//!
+//! ```
+//! use byom::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = ClusterSpec::balanced(0);
+//! // Shared, memoized trace generation (cheap clones of one Arc'd trace).
+//! let train = TraceGenerator::new(1).generate_cached(&spec, 4.0 * 3600.0);
+//! let cost_model = CostModel::new(CostRates::default());
+//! // Train across all cores; the model is identical to a sequential run.
+//! let trained = ByomPipeline::builder()
+//!     .num_categories(5)
+//!     .gbdt_trees(10)
+//!     .parallelism(0)
+//!     .build()
+//!     .train(&train, &cost_model)?;
+//! # let _ = trained;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! `cargo bench -p byom_bench --bench parallel` reports the wall-clock
+//! speedup of both levels on the current machine.
 
 #![warn(missing_docs)]
 

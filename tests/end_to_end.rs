@@ -108,8 +108,7 @@ fn oracle_bounds_every_online_policy() {
 fn ssd_occupancy_never_exceeds_quota_for_any_policy() {
     let f = fixture(1400);
     for quota in [0.005, 0.05, 0.5] {
-        let capacity =
-            SimConfig::from_quota_fraction(&f.test, quota).ssd_capacity_bytes;
+        let capacity = SimConfig::from_quota_fraction(&f.test, quota).ssd_capacity_bytes;
         for result in [
             run(&f, quota, &mut FirstFit::new()),
             run(&f, quota, &mut f.trained.adaptive_ranking_policy()),
@@ -170,7 +169,10 @@ fn model_generalizes_to_a_different_seed_of_the_same_cluster() {
     // must do better than chance on unseen data (RQ4, qualitative).
     let f = fixture(1700);
     let costs = f.cost_model.cost_trace(&f.test);
-    let eval = f.trained.model().evaluate(&f.test, &costs, f.trained.labeler());
+    let eval = f
+        .trained
+        .model()
+        .evaluate(&f.test, &costs, f.trained.labeler());
     assert!(
         eval.top1_accuracy > 1.0 / 8.0,
         "top-1 accuracy {:.3} is no better than random",

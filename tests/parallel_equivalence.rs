@@ -1,0 +1,130 @@
+//! Parallel execution must never change results: training with any
+//! `parallelism` setting produces bit-identical models, and the harness
+//! fan-out helpers return exactly what the sequential loops they replace
+//! would. These tests pin that contract.
+
+use byom::prelude::*;
+use byom_bench::{run_clusters_parallel, run_quotas_parallel, ExperimentContext, ExperimentParams};
+use byom_gbdt::Tree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic multi-class dataset large enough to cross the parallel split
+/// search's row threshold at the root.
+fn synthetic_dataset(n: usize, num_features: usize, k: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..num_features)
+            .map(|_| rng.gen_range(-10.0..10.0))
+            .collect();
+        // Label depends on a couple of features plus noise, so trees have
+        // real structure to find.
+        let score = row[0] + 0.5 * row[1 % num_features] + rng.gen_range(-2.0..2.0);
+        let label = (((score + 12.0) / 24.0 * k as f64) as usize).min(k - 1);
+        rows.push(row);
+        labels.push(label);
+    }
+    Dataset::from_rows(rows, labels).unwrap()
+}
+
+#[test]
+fn gbdt_training_is_identical_for_any_parallelism() {
+    let train = synthetic_dataset(1500, 6, 4, 10);
+    let valid = synthetic_dataset(300, 6, 4, 11);
+    let base = GbdtParams {
+        num_classes: 4,
+        num_trees: 12,
+        parallelism: 1,
+        ..Default::default()
+    };
+    let sequential = GradientBoostedTrees::train(&base, &train, Some(&valid)).unwrap();
+    for threads in [2, 4, 0] {
+        let params = GbdtParams {
+            parallelism: threads,
+            ..base
+        };
+        let parallel = GradientBoostedTrees::train(&params, &train, Some(&valid)).unwrap();
+        // Bit-identical trees, reports, and therefore predictions.
+        assert_eq!(sequential, parallel, "parallelism={threads} diverged");
+        for i in 0..50 {
+            assert_eq!(
+                sequential.predict_proba(train.row(i)),
+                parallel.predict_proba(train.row(i)),
+                "prediction {i} diverged at parallelism={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tree_fit_is_identical_for_any_parallelism() {
+    let data = synthetic_dataset(2000, 8, 2, 12);
+    let mapper = byom_gbdt::BinMapper::fit(&data, 64);
+    let binned = mapper.bin_dataset(&data);
+    let mut rng = StdRng::seed_from_u64(13);
+    let grad: Vec<f64> = (0..data.len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let hess: Vec<f64> = (0..data.len()).map(|_| rng.gen_range(0.1..1.0)).collect();
+    let rows: Vec<usize> = (0..data.len()).collect();
+    let params = byom_gbdt::TreeParams::default();
+    let sequential = Tree::fit(
+        &binned,
+        data.num_features(),
+        &mapper,
+        &grad,
+        &hess,
+        &rows,
+        params,
+    );
+    for threads in [2, 4, 0] {
+        let parallel = Tree::fit_with_parallelism(
+            &binned,
+            data.num_features(),
+            &mapper,
+            &grad,
+            &hess,
+            &rows,
+            params,
+            threads,
+        );
+        assert_eq!(
+            sequential, parallel,
+            "tree diverged at parallelism={threads}"
+        );
+    }
+}
+
+fn quick_params() -> ExperimentParams {
+    ExperimentParams {
+        train_hours: 3.0,
+        test_hours: 1.5,
+        num_categories: 4,
+        gbdt_trees: 6,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn cluster_fanout_matches_sequential_loop() {
+    let specs = vec![ClusterSpec::balanced(30), ClusterSpec::balanced(31)];
+    let run = |i: usize, spec: &ClusterSpec| {
+        let ctx = ExperimentContext::prepare(spec.clone(), quick_params());
+        (i, ctx.run_all_methods(0.05, false))
+    };
+    let sequential: Vec<_> = specs.iter().enumerate().map(|(i, s)| run(i, s)).collect();
+    let parallel = run_clusters_parallel(&specs, 2, run);
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn quota_fanout_matches_sequential_loop() {
+    let ctx = ExperimentContext::prepare(ClusterSpec::balanced(32), quick_params());
+    let quotas = [0.02, 0.1, 0.5];
+    let sequential: Vec<_> = quotas
+        .iter()
+        .map(|&q| ctx.run_all_methods(q, true))
+        .collect();
+    let parallel = run_quotas_parallel(&ctx, &quotas, true, 3);
+    assert_eq!(sequential, parallel);
+}

@@ -1,158 +1,209 @@
-//! Property-based tests (proptest) over the core invariants listed in
-//! DESIGN.md: cost-model sanity, oracle feasibility and monotonicity,
-//! simulator capacity conservation, label-partition validity, ACT bounds,
-//! and GBDT probability-distribution validity.
+//! Property-based tests over the core invariants listed in DESIGN.md:
+//! cost-model sanity, oracle feasibility and monotonicity, simulator capacity
+//! conservation, label-partition validity, ACT bounds, and GBDT
+//! probability-distribution validity.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these run each property over a deterministic stream of randomized cases
+//! drawn from the workspace's seeded `rand` stand-in. Failures print the case
+//! seed so a case can be replayed in isolation.
 
 use byom::prelude::*;
 use byom_core::CategoryLabeler;
 use byom_trace::{IoProfile, JobFeatures};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: an arbitrary but well-formed shuffle job.
-fn arb_job(id: u64) -> impl Strategy<Value = ShuffleJob> {
-    (
-        0.0f64..100_000.0,              // arrival
-        1.0f64..200_000.0,              // lifetime
-        1u64..(1u64 << 40),             // size
-        0u64..(1u64 << 41),             // read bytes
-        0u64..(1u64 << 41),             // written bytes
-        0u64..5_000_000,                // read ops
-        0.0f64..0.95,                   // dram hit fraction
-    )
-        .prop_map(move |(arrival, lifetime, size, read, written, read_ops, hit)| ShuffleJob {
-            id: JobId(id),
-            cluster: 0,
-            arrival,
-            lifetime,
-            size_bytes: size,
-            io: IoProfile {
-                read_bytes: read,
-                written_bytes: written,
-                read_ops,
-                write_ops: written / (128 * 1024) + 1,
-                dram_hit_fraction: hit,
-                mean_read_size: 64 * 1024,
-            },
-            features: JobFeatures::default(),
-            archetype: 0,
-        })
+const CASES: u64 = 64;
+
+/// An arbitrary but well-formed shuffle job.
+fn gen_job<R: Rng>(rng: &mut R, id: u64) -> ShuffleJob {
+    let written = rng.gen_range(0..(1u64 << 41));
+    ShuffleJob {
+        id: JobId(id),
+        cluster: 0,
+        arrival: rng.gen_range(0.0f64..100_000.0),
+        lifetime: rng.gen_range(1.0f64..200_000.0),
+        size_bytes: rng.gen_range(1u64..(1u64 << 40)),
+        io: IoProfile {
+            read_bytes: rng.gen_range(0..(1u64 << 41)),
+            written_bytes: written,
+            read_ops: rng.gen_range(0..5_000_000),
+            write_ops: written / (128 * 1024) + 1,
+            dram_hit_fraction: rng.gen_range(0.0f64..0.95),
+            mean_read_size: 64 * 1024,
+        },
+        features: JobFeatures::default(),
+        archetype: 0,
+    }
 }
 
-fn arb_jobs(max: usize) -> impl Strategy<Value = Vec<ShuffleJob>> {
-    prop::collection::vec(any::<u64>(), 1..max).prop_flat_map(|seeds| {
-        seeds
-            .into_iter()
-            .enumerate()
-            .map(|(i, _)| arb_job(i as u64))
-            .collect::<Vec<_>>()
-    })
+fn gen_jobs<R: Rng>(rng: &mut R, max: usize) -> Vec<ShuffleJob> {
+    let n = rng.gen_range(1..max);
+    (0..n).map(|i| gen_job(rng, i as u64)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Cost model: all cost quantities are finite and non-negative, and the
-    /// network component is identical across devices.
-    #[test]
-    fn cost_model_outputs_are_finite_and_nonnegative(job in arb_job(0)) {
-        let model = CostModel::new(CostRates::default());
+/// Cost model: all cost quantities are finite and non-negative, and the
+/// network component is identical across devices.
+#[test]
+fn cost_model_outputs_are_finite_and_nonnegative() {
+    let model = CostModel::new(CostRates::default());
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x1000 + case);
+        let job = gen_job(&mut rng, 0);
         let cost = model.cost_job(&job);
-        prop_assert!(cost.tcio_hdd.is_finite() && cost.tcio_hdd >= 0.0);
-        prop_assert!(cost.tco_hdd.is_finite() && cost.tco_hdd >= 0.0);
-        prop_assert!(cost.tco_ssd.is_finite() && cost.tco_ssd >= 0.0);
+        assert!(
+            cost.tcio_hdd.is_finite() && cost.tcio_hdd >= 0.0,
+            "case {case}: tcio_hdd {:?}",
+            cost.tcio_hdd
+        );
+        assert!(
+            cost.tco_hdd.is_finite() && cost.tco_hdd >= 0.0,
+            "case {case}"
+        );
+        assert!(
+            cost.tco_ssd.is_finite() && cost.tco_ssd >= 0.0,
+            "case {case}"
+        );
         let hdd = model.tco_hdd_breakdown(&job);
         let ssd = model.tco_ssd_breakdown(&job);
-        prop_assert!((hdd.network - ssd.network).abs() < 1e-15);
+        assert!((hdd.network - ssd.network).abs() < 1e-15, "case {case}");
     }
+}
 
-    /// Cost model: removing DRAM cache hits can only increase TCIO.
-    #[test]
-    fn dram_cache_never_increases_tcio(job in arb_job(0)) {
-        let model = CostModel::new(CostRates::default());
+/// Cost model: removing DRAM cache hits can only increase TCIO.
+#[test]
+fn dram_cache_never_increases_tcio() {
+    let model = CostModel::new(CostRates::default());
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x2000 + case);
+        let job = gen_job(&mut rng, 0);
         let mut uncached = job.clone();
         uncached.io.dram_hit_fraction = 0.0;
-        prop_assert!(
-            model.cost_job(&uncached).tcio_hdd >= model.cost_job(&job).tcio_hdd - 1e-12
+        assert!(
+            model.cost_job(&uncached).tcio_hdd >= model.cost_job(&job).tcio_hdd - 1e-12,
+            "case {case}"
         );
     }
+}
 
-    /// Oracle: the chosen placement never exceeds the capacity, never selects
-    /// negative-value jobs, and a larger capacity never decreases the value.
-    #[test]
-    fn oracle_feasibility_and_monotonicity(jobs in arb_jobs(24), cap_a in 0u64..(1u64 << 42), cap_b in 0u64..(1u64 << 42)) {
-        let model = CostModel::new(CostRates::default());
+/// Oracle: the chosen placement never exceeds the capacity, never selects
+/// negative-value jobs, and a larger capacity never decreases the value.
+#[test]
+fn oracle_feasibility_and_monotonicity() {
+    let model = CostModel::new(CostRates::default());
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x3000 + case);
+        let jobs = gen_jobs(&mut rng, 24);
+        let cap_a = rng.gen_range(0..(1u64 << 42));
+        let cap_b = rng.gen_range(0..(1u64 << 42));
         let trace = Trace::new(jobs);
         let costs = model.cost_trace(&trace);
-        let (lo, hi) = if cap_a <= cap_b { (cap_a, cap_b) } else { (cap_b, cap_a) };
+        let (lo, hi) = if cap_a <= cap_b {
+            (cap_a, cap_b)
+        } else {
+            (cap_b, cap_a)
+        };
         let small = Oracle::new(OracleObjective::Tco, lo).solve(&costs);
         let large = Oracle::new(OracleObjective::Tco, hi).solve(&costs);
-        prop_assert!(small.peak_occupancy <= lo.max(1));
-        prop_assert!(large.peak_occupancy <= hi.max(1));
+        assert!(small.peak_occupancy <= lo.max(1), "case {case}");
+        assert!(large.peak_occupancy <= hi.max(1), "case {case}");
         for (cost, &on_ssd) in costs.iter().zip(&small.on_ssd) {
             if on_ssd {
-                prop_assert!(cost.tco_savings() > 0.0);
+                assert!(cost.tco_savings() > 0.0, "case {case}");
             }
         }
-        prop_assert!(large.total_value >= small.total_value - 1e-9);
+        assert!(large.total_value >= small.total_value - 1e-9, "case {case}");
     }
+}
 
-    /// Simulator: SSD occupancy never exceeds the configured capacity and
-    /// every realized SSD fraction is within [0, 1].
-    #[test]
-    fn simulator_respects_capacity(jobs in arb_jobs(40), capacity in 0u64..(1u64 << 41)) {
+/// Simulator: SSD occupancy never exceeds the configured capacity and every
+/// realized SSD fraction is within [0, 1].
+#[test]
+fn simulator_respects_capacity() {
+    #[derive(Debug)]
+    struct AlwaysSsd;
+    impl PlacementPolicy for AlwaysSsd {
+        fn name(&self) -> &str {
+            "always-ssd"
+        }
+        fn place(&mut self, _: &ShuffleJob, _: &JobCost, _: &SystemState) -> Device {
+            Device::Ssd
+        }
+    }
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x4000 + case);
+        let jobs = gen_jobs(&mut rng, 40);
+        let capacity = rng.gen_range(0..(1u64 << 41));
         let model = CostModel::new(CostRates::default());
         let trace = Trace::new(jobs);
-        #[derive(Debug)]
-        struct AlwaysSsd;
-        impl PlacementPolicy for AlwaysSsd {
-            fn name(&self) -> &str { "always-ssd" }
-            fn place(&mut self, _: &ShuffleJob, _: &JobCost, _: &SystemState) -> Device {
-                Device::Ssd
-            }
-        }
-        let result = Simulator::new(SimConfig { ssd_capacity_bytes: capacity }, model)
-            .run(&trace, &mut AlwaysSsd);
-        prop_assert!(result.peak_ssd_occupancy_bytes <= capacity);
+        let result = Simulator::new(
+            SimConfig {
+                ssd_capacity_bytes: capacity,
+            },
+            model,
+        )
+        .run(&trace, &mut AlwaysSsd);
+        assert!(result.peak_ssd_occupancy_bytes <= capacity, "case {case}");
         for o in &result.outcomes {
-            prop_assert!((0.0..=1.0).contains(&o.ssd_fraction));
+            assert!((0.0..=1.0).contains(&o.ssd_fraction), "case {case}");
         }
         // Savings summary is internally consistent.
-        prop_assert!(result.savings.achieved_tco <= result.savings.baseline_tco + 1e-9
-            || result.savings.achieved_tco.is_finite());
+        assert!(
+            result.savings.achieved_tco <= result.savings.baseline_tco + 1e-9
+                || result.savings.achieved_tco.is_finite(),
+            "case {case}"
+        );
     }
+}
 
-    /// Category labels form a valid partition: every job gets a label below N
-    /// and negative-savings jobs always get label 0.
-    #[test]
-    fn category_labels_are_a_valid_partition(jobs in arb_jobs(60), n in 2usize..20) {
-        let model = CostModel::new(CostRates::default());
+/// Category labels form a valid partition: every job gets a label below N and
+/// negative-savings jobs always get label 0.
+#[test]
+fn category_labels_are_a_valid_partition() {
+    let model = CostModel::new(CostRates::default());
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5000 + case);
+        let jobs = gen_jobs(&mut rng, 60);
+        let n = rng.gen_range(2usize..20);
         let trace = Trace::new(jobs);
         let costs = model.cost_trace(&trace);
         let labeler = CategoryLabeler::fit(&costs, n);
         for cost in &costs {
             let label = labeler.label(cost);
-            prop_assert!(label < n);
+            assert!(label < n, "case {case}");
             if cost.tco_savings() < 0.0 {
-                prop_assert_eq!(label, 0);
+                assert_eq!(label, 0, "case {case}");
             } else {
-                prop_assert!(label >= 1);
+                assert!(label >= 1, "case {case}");
             }
         }
     }
+}
 
-    /// GBDT predictions are valid probability distributions on arbitrary
-    /// (finite) feature vectors.
-    #[test]
-    fn gbdt_probabilities_are_distributions(values in prop::collection::vec(-1e6f64..1e6, 3)) {
-        // A tiny fixed model trained once per test case (cheap: 5 rounds).
-        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, (i % 5) as f64, 1.0]).collect();
-        let labels: Vec<usize> = (0..60).map(|i| usize::from(i >= 30)).collect();
-        let data = Dataset::from_rows(rows, labels).unwrap();
-        let params = GbdtParams { num_classes: 2, num_trees: 5, ..Default::default() };
-        let model = GradientBoostedTrees::train(&params, &data, None).unwrap();
+/// GBDT predictions are valid probability distributions on arbitrary (finite)
+/// feature vectors.
+#[test]
+fn gbdt_probabilities_are_distributions() {
+    // A tiny fixed model trained once (cheap: 5 rounds), probed with many
+    // random feature vectors.
+    let rows: Vec<Vec<f64>> = (0..60)
+        .map(|i| vec![i as f64, (i % 5) as f64, 1.0])
+        .collect();
+    let labels: Vec<usize> = (0..60).map(|i| usize::from(i >= 30)).collect();
+    let data = Dataset::from_rows(rows, labels).unwrap();
+    let params = GbdtParams {
+        num_classes: 2,
+        num_trees: 5,
+        ..Default::default()
+    };
+    let model = GradientBoostedTrees::train(&params, &data, None).unwrap();
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x6000 + case);
+        let values: Vec<f64> = (0..3).map(|_| rng.gen_range(-1e6f64..1e6)).collect();
         let p = model.predict_proba(&values);
-        prop_assert_eq!(p.len(), 2);
-        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert_eq!(p.len(), 2, "case {case}");
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "case {case}");
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)), "case {case}");
     }
 }

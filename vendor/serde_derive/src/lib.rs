@@ -1,0 +1,318 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Supports exactly the type shapes this workspace serializes: structs with
+//! named fields, tuple structs, and enums whose variants are all unit
+//! variants. Generics and `#[serde(...)]` attributes are intentionally not
+//! supported — deriving on such a type is a compile-time panic with a clear
+//! message, so unsupported shapes fail loudly rather than misbehave.
+//!
+//! The macros parse the item's token stream directly (no `syn`/`quote`,
+//! which are unavailable offline) and emit impls of `serde::Serialize` /
+//! `serde::Deserialize` over the `serde::Value` document model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a type we can derive for.
+enum Shape {
+    /// `struct Name { field: T, ... }`
+    Named(String, Vec<String>),
+    /// `struct Name(T, ...);`
+    Tuple(String, usize),
+    /// `enum Name { A, B, ... }` (unit variants only)
+    UnitEnum(String, Vec<String>),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let code = match &shape {
+        Shape::Named(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple(name, 1) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Tuple(name, arity) => {
+            let entries: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let code = match &shape {
+        Shape::Named(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value)\n\
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple(name, 1) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value)\n\
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Tuple(name, arity) => {
+            let inits: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value)\n\
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let a = v.as_array().ok_or_else(|| ::serde::Error(\n\
+                             format!(\"expected array for {name}, got {{v:?}}\")))?;\n\
+                         if a.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::Error(\n\
+                                 format!(\"expected {arity} elements for {name}, got {{}}\", a.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({inits}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("::std::option::Option::Some(\"{v}\") => ::std::result::Result::Ok({name}::{v}),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value)\n\
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str() {{\n\
+                             {arms}\n\
+                             ::std::option::Option::Some(other) => ::std::result::Result::Err(\n\
+                                 ::serde::Error(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                             ::std::option::Option::None => ::std::result::Result::Err(\n\
+                                 ::serde::Error(format!(\"expected string variant for {name}, got {{v:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+/// Parse the derived item into one of the supported [`Shape`]s.
+fn parse_item(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Outer attribute: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Skip a possible visibility argument like `pub(crate)`.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                let name = expect_ident(iter.next(), "struct name");
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Shape::Named(name, parse_named_fields(g.stream()));
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        return Shape::Tuple(name, count_top_level_fields(g.stream()));
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("serde stand-in derive does not support generic type `{name}`");
+                    }
+                    other => panic!("unsupported struct body for `{name}`: {other:?}"),
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                let name = expect_ident(iter.next(), "enum name");
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Shape::UnitEnum(
+                            name.clone(),
+                            parse_unit_variants(&name, g.stream()),
+                        );
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("serde stand-in derive does not support generic enum `{name}`");
+                    }
+                    other => panic!("unsupported enum body for `{name}`: {other:?}"),
+                }
+            }
+            // `union`, or anything else in item position, is unsupported.
+            TokenTree::Ident(id) if id.to_string() == "union" => {
+                panic!("serde stand-in derive does not support unions");
+            }
+            _ => {}
+        }
+    }
+    panic!("serde stand-in derive: no struct or enum found in input");
+}
+
+fn expect_ident(tt: Option<TokenTree>, what: &str) -> String {
+    match tt {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected {what}, found {other:?}"),
+    }
+}
+
+/// Extract field names from the body of a named-field struct.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Strip attributes and visibility before the field name.
+        let name = loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("unexpected token in struct body: {other:?}"),
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        // Consume the type, up to a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Count the fields of a tuple struct (top-level comma-separated segments).
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tt in body {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if saw_token {
+                        count += 1;
+                    }
+                    saw_token = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    assert!(count > 0, "tuple struct with no fields is unsupported");
+    count
+}
+
+/// Extract variant names from an enum body, insisting on unit variants.
+fn parse_unit_variants(enum_name: &str, body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let variant = id.to_string();
+                match iter.peek() {
+                    None => variants.push(variant),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        variants.push(variant);
+                        iter.next();
+                    }
+                    Some(other) => panic!(
+                        "enum `{enum_name}` variant `{variant}` is not a unit variant \
+                         (unsupported by the serde stand-in derive): {other:?}"
+                    ),
+                }
+            }
+            other => panic!("unexpected token in enum `{enum_name}` body: {other:?}"),
+        }
+    }
+    assert!(
+        !variants.is_empty(),
+        "enum `{enum_name}` has no variants to derive for"
+    );
+    variants
+}
