@@ -10,7 +10,7 @@ use byom_bench::report::f2;
 use byom_bench::{ExperimentContext, ExperimentParams, Table};
 use byom_core::ByomPipeline;
 use byom_trace::{ClusterSpec, Trace};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The key of the entity with the second-largest total HDD TCO.
 fn second_largest_by<F: Fn(&byom_trace::ShuffleJob) -> String>(
@@ -18,12 +18,12 @@ fn second_largest_by<F: Fn(&byom_trace::ShuffleJob) -> String>(
     key: F,
 ) -> Option<String> {
     let costs = ctx.cost_model.cost_trace(&ctx.train);
-    let mut totals: HashMap<String, f64> = HashMap::new();
+    let mut totals: BTreeMap<String, f64> = BTreeMap::new();
     for (job, cost) in ctx.train.iter().zip(&costs) {
         *totals.entry(key(job)).or_default() += cost.tco_hdd;
     }
     let mut ranked: Vec<(String, f64)> = totals.into_iter().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite totals"));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     ranked.get(1).map(|(k, _)| k.clone())
 }
 

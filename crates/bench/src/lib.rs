@@ -8,6 +8,7 @@
 //! Baseline, Adaptive Hash, Adaptive Ranking, Oracle TCIO, Oracle TCO)
 //! through the simulator at a given SSD quota.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

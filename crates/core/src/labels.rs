@@ -35,7 +35,7 @@ impl CategoryLabeler {
             .filter(|c| c.tco_savings() >= 0.0)
             .map(|c| c.io_density)
             .collect();
-        densities.sort_by(|a, b| a.partial_cmp(b).expect("finite densities"));
+        densities.sort_by(|a, b| a.total_cmp(b));
 
         let positive_buckets = num_categories - 1;
         let mut thresholds = Vec::with_capacity(positive_buckets.saturating_sub(1));

@@ -232,7 +232,7 @@ pub fn group_index(group: FeatureGroup) -> usize {
 fn argmax(v: &[f64]) -> usize {
     v.iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0)
 }

@@ -15,7 +15,7 @@ use crate::model::{CategoryModel, CategoryModelConfig};
 use byom_cost::{CostModel, JobCost};
 use byom_gbdt::GbdtError;
 use byom_trace::{ShuffleJob, Trace};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Training granularity for the BYOM category models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +35,7 @@ pub enum ModelGranularity {
 #[derive(Debug, Clone)]
 pub struct ModelRegistry {
     fallback: CategoryModel,
-    per_pipeline: HashMap<String, CategoryModel>,
+    per_pipeline: BTreeMap<String, CategoryModel>,
     num_categories: usize,
 }
 
@@ -60,14 +60,14 @@ impl ModelRegistry {
     ) -> Result<Self, GbdtError> {
         let costs = cost_model.cost_trace(train);
         let fallback = CategoryModel::train(config, train, &costs, labeler)?;
-        let mut per_pipeline = HashMap::new();
+        let mut per_pipeline = BTreeMap::new();
 
         if let ModelGranularity::PerPipeline {
             min_jobs_per_pipeline,
         } = granularity
         {
             // Group job indices by pipeline.
-            let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+            let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
             for (i, job) in train.iter().enumerate() {
                 groups
                     .entry(job.features.pipeline_name.clone())

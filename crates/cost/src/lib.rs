@@ -30,6 +30,7 @@
 //! assert!(costs.iter().all(|c| c.tco_hdd >= 0.0));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

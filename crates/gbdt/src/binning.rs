@@ -29,7 +29,7 @@ impl BinMapper {
         let mut edges = Vec::with_capacity(data.num_features());
         for f in 0..data.num_features() {
             let mut col: Vec<f64> = (0..n).map(|i| data.value(i, f)).collect();
-            col.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            col.sort_by(|a, b| a.total_cmp(b));
             col.dedup();
             let feature_edges = if col.len() <= max_bins {
                 // Each distinct value gets its own bin; edges are midpoints.

@@ -38,6 +38,13 @@ pub enum GbdtError {
     },
     /// Invalid hyperparameters.
     InvalidParams(String),
+    /// A prediction row has fewer features than the model was trained on.
+    FeatureCountMismatch {
+        /// Features the model expects.
+        expected: usize,
+        /// Features the row provides.
+        found: usize,
+    },
 }
 
 impl fmt::Display for GbdtError {
@@ -60,6 +67,9 @@ impl fmt::Display for GbdtError {
                 write!(f, "non-finite feature value at row {row}, column {column}")
             }
             GbdtError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            GbdtError::FeatureCountMismatch { expected, found } => {
+                write!(f, "row has {found} features, model needs {expected}")
+            }
         }
     }
 }

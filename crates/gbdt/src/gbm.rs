@@ -296,7 +296,8 @@ impl GradientBoostedTrees {
     /// Raw (pre-softmax) scores for one feature row.
     ///
     /// # Panics
-    /// Panics if `row` has fewer features than the model was trained on.
+    /// Panics if `row` has fewer features than the model was trained on; use
+    /// [`GradientBoostedTrees::try_predict_raw`] to get an error instead.
     pub fn predict_raw(&self, row: &[f64]) -> Vec<f64> {
         assert!(
             row.len() >= self.num_features,
@@ -304,6 +305,25 @@ impl GradientBoostedTrees {
             row.len(),
             self.num_features
         );
+        self.raw_scores(row)
+    }
+
+    /// Raw (pre-softmax) scores for one feature row, checked.
+    ///
+    /// # Errors
+    /// Returns [`GbdtError::FeatureCountMismatch`] if `row` is shorter than
+    /// the model's feature dimension.
+    pub fn try_predict_raw(&self, row: &[f64]) -> Result<Vec<f64>, GbdtError> {
+        if row.len() < self.num_features {
+            return Err(GbdtError::FeatureCountMismatch {
+                expected: self.num_features,
+                found: row.len(),
+            });
+        }
+        Ok(self.raw_scores(row))
+    }
+
+    fn raw_scores(&self, row: &[f64]) -> Vec<f64> {
         let mut scores = self.base_scores.clone();
         for round in &self.trees {
             for (class, tree) in round.iter().enumerate() {
@@ -319,10 +339,26 @@ impl GradientBoostedTrees {
         softmax(&raw)
     }
 
+    /// Class probability distribution for one feature row, checked.
+    ///
+    /// # Errors
+    /// Returns [`GbdtError::FeatureCountMismatch`] on a short row.
+    pub fn try_predict_proba(&self, row: &[f64]) -> Result<Vec<f64>, GbdtError> {
+        Ok(softmax(&self.try_predict_raw(row)?))
+    }
+
     /// Most likely class for one feature row.
     pub fn predict(&self, row: &[f64]) -> usize {
         let p = self.predict_raw(row);
         argmax(&p)
+    }
+
+    /// Most likely class for one feature row, checked.
+    ///
+    /// # Errors
+    /// Returns [`GbdtError::FeatureCountMismatch`] on a short row.
+    pub fn try_predict(&self, row: &[f64]) -> Result<usize, GbdtError> {
+        Ok(argmax(&self.try_predict_raw(row)?))
     }
 
     /// Predicted classes for a whole dataset.
@@ -390,7 +426,7 @@ fn to_rows(flat: &[f64], k: usize) -> Vec<Vec<f64>> {
 fn argmax(v: &[f64]) -> usize {
     v.iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0)
 }
@@ -552,6 +588,29 @@ mod tests {
         for i in 0..20 {
             assert_eq!(model.predict(train.row(i)), back.predict(train.row(i)));
         }
+    }
+
+    #[test]
+    fn try_predict_reports_short_rows_as_errors() {
+        let train = three_class_data(100, 11);
+        let params = GbdtParams {
+            num_classes: 3,
+            num_trees: 2,
+            ..Default::default()
+        };
+        let model = GradientBoostedTrees::train(&params, &train, None).unwrap();
+        assert!(matches!(
+            model.try_predict(&[1.0]),
+            Err(GbdtError::FeatureCountMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+        assert!(model.try_predict_proba(&[1.0]).is_err());
+        // Checked and panicking paths agree on valid rows.
+        let row = train.row(0);
+        assert_eq!(model.try_predict(row).unwrap(), model.predict(row));
+        assert_eq!(model.try_predict_raw(row).unwrap(), model.predict_raw(row));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! assert_eq!(model.predict(&[10.0, 3.0]), 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

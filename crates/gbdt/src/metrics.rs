@@ -27,7 +27,7 @@ pub fn top_k_accuracy(probabilities: &[Vec<f64>], truth: &[usize], k: usize) -> 
     let mut correct = 0usize;
     for (probs, &t) in probabilities.iter().zip(truth) {
         let mut idx: Vec<usize> = (0..probs.len()).collect();
-        idx.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).expect("finite probs"));
+        idx.sort_by(|&a, &b| probs[b].total_cmp(&probs[a]));
         if idx.iter().take(k).any(|&i| i == t) {
             correct += 1;
         }
@@ -52,7 +52,7 @@ pub fn binary_auc(scores: &[f64], labels: &[bool]) -> f64 {
     }
     // Rank scores (average ranks for ties).
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
     while i < order.len() {

@@ -1,0 +1,94 @@
+//! The committed violations baseline.
+//!
+//! `check` fails only on findings *beyond* the baseline (and beyond any
+//! `[[allow]]` budget), so a rule can be introduced without first fixing
+//! every historical violation; `bless` rewrites the baseline to the current
+//! state. The format is deliberately diff-friendly: one line per
+//! `(rule, path)` pair, tab-separated, sorted.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Findings-per-(rule, path) counts.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+const HEADER: &str = "\
+# byom_lint baseline — accepted historical violations, one `rule<TAB>path<TAB>count`
+# per line. Regenerate with `cargo run -p byom_lint -- bless`. An empty
+# baseline means the tree is clean modulo the justified [[allow]] entries in
+# lint.toml.
+";
+
+/// Parse a baseline file's contents. Unknown or malformed lines are errors —
+/// a corrupted baseline must not silently accept violations.
+pub fn parse(source: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (Some(rule), Some(path), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {}: expected `rule<TAB>path<TAB>count`, got `{raw}`",
+                idx + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{count}`", idx + 1))?;
+        counts.insert((rule.to_string(), path.to_string()), count);
+    }
+    Ok(counts)
+}
+
+/// Load the baseline at `path`; a missing file is an empty baseline.
+pub fn load(path: &Path) -> Result<Counts, String> {
+    match std::fs::read_to_string(path) {
+        Ok(s) => parse(&s),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Counts::new()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+/// Serialize counts back into the committed format.
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from(HEADER);
+    for ((rule, path), count) in counts {
+        out.push_str(&format!("{rule}\t{path}\t{count}\n"));
+    }
+    out
+}
+
+/// Write the baseline to `path`.
+pub fn store(path: &Path, counts: &Counts) -> Result<(), String> {
+    std::fs::write(path, render(counts))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut counts = Counts::new();
+        counts.insert(("panic-surface".into(), "crates/x/src/a.rs".into()), 4);
+        counts.insert(("no-wall-clock".into(), "crates/y/src/b.rs".into()), 1);
+        let rendered = render(&counts);
+        assert_eq!(parse(&rendered).unwrap(), counts);
+    }
+
+    #[test]
+    fn empty_and_comment_lines_are_skipped() {
+        assert!(parse("# header\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse("just-one-field\n").is_err());
+        assert!(parse("rule\tpath\tnot-a-number\n").is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! File walking, rule dispatch, and baseline/allowlist accounting.
+
+use crate::baseline::{self, Counts};
+use crate::config::Config;
+use crate::lexer;
+use crate::rules::{self, Finding};
+use std::path::{Path, PathBuf};
+
+/// The result of a `check` run.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOutcome {
+    pub files_scanned: usize,
+    /// Every finding, before any suppression.
+    pub total_findings: usize,
+    /// Findings covered by `[[allow]]` budgets.
+    pub allowed_findings: usize,
+    /// Number of `[[allow]]` entries that matched at least one finding.
+    pub allow_entries_used: usize,
+    /// Findings covered by the committed baseline.
+    pub baselined_findings: usize,
+    /// Findings beyond all budgets. Non-empty means the check fails. When a
+    /// `(rule, path)` group exceeds its budget, *all* of the group's findings
+    /// are listed (a token-level analyzer cannot tell which one is new).
+    pub new_findings: Vec<Finding>,
+    /// Staleness and budget-slack diagnostics (never affect the exit code).
+    pub notes: Vec<String>,
+}
+
+/// Recursively collect the repo-relative paths of every `.rs` file under the
+/// configured roots, in sorted order (so runs are deterministic).
+pub fn collect_files(root: &Path, config: &Config) -> Result<Vec<String>, String> {
+    let mut files = Vec::new();
+    for top in &config.roots {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(root, &dir, config, &mut files)?;
+        } else if dir.is_file() && top.ends_with(".rs") && !config.is_excluded(top) {
+            files.push(top.clone());
+        }
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, config: &Config, out: &mut Vec<String>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if config.is_excluded(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            // Never descend into build output.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(root, &path, config, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Lex every file and run each rule that is in scope for it. Returns the
+/// number of files scanned and all findings, sorted.
+pub fn scan(root: &Path, config: &Config) -> Result<(usize, Vec<Finding>), String> {
+    let files = collect_files(root, config)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        let lexed = lexer::lex(&source);
+        for &rule in rules::ALL_RULES {
+            if !config.scope(rule).applies_to(rel) {
+                continue;
+            }
+            for mut f in rules::run_rule(rule, &lexed) {
+                f.path = rel.clone();
+                findings.push(f);
+            }
+        }
+    }
+    findings.sort();
+    Ok((files.len(), findings))
+}
+
+/// Aggregate findings into per-`(rule, path)` counts.
+pub fn count(findings: &[Finding]) -> Counts {
+    let mut counts = Counts::new();
+    for f in findings {
+        *counts
+            .entry((f.rule.to_string(), f.path.clone()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Run a full check: scan, then charge each `(rule, path)` group first
+/// against its `[[allow]]` budget, then against the baseline; whatever is
+/// left is a new violation.
+pub fn check(root: &Path, config: &Config, baseline_path: &Path) -> Result<CheckOutcome, String> {
+    let (files_scanned, findings) = scan(root, config)?;
+    let base = baseline::load(baseline_path)?;
+    let counts = count(&findings);
+
+    let mut outcome = CheckOutcome {
+        files_scanned,
+        total_findings: findings.len(),
+        ..CheckOutcome::default()
+    };
+
+    let mut used_allow_entries = std::collections::BTreeSet::new();
+    for ((rule, path), &n) in &counts {
+        let allow = config.allow_for(rule, path);
+        let allow_budget = allow.map_or(0, |a| a.max.unwrap_or(usize::MAX));
+        let covered_by_allow = n.min(allow_budget);
+        if let Some(a) = allow {
+            if covered_by_allow > 0 {
+                used_allow_entries.insert((a.rule.clone(), a.path.clone()));
+            }
+            if let Some(max) = a.max {
+                if n < max {
+                    outcome.notes.push(format!(
+                        "allow budget slack: {rule} in {path} permits {max} but only {n} \
+                         remain — tighten `max` in lint.toml"
+                    ));
+                }
+            }
+        }
+        let rest = n - covered_by_allow;
+        let base_budget = base
+            .get(&(rule.clone(), path.clone()))
+            .copied()
+            .unwrap_or(0);
+        let covered_by_base = rest.min(base_budget);
+        if base_budget > rest {
+            outcome.notes.push(format!(
+                "stale baseline: {rule} in {path} baselines {base_budget} but only {rest} \
+                 remain — run `cargo run -p byom_lint -- bless`"
+            ));
+        }
+        outcome.allowed_findings += covered_by_allow;
+        outcome.baselined_findings += covered_by_base;
+        if rest > covered_by_base {
+            outcome.new_findings.extend(
+                findings
+                    .iter()
+                    .filter(|f| f.rule == rule && &f.path == path)
+                    .cloned(),
+            );
+        }
+    }
+    // Baseline entries whose files are clean (or gone) are also stale.
+    for (rule, path) in base.keys() {
+        if !counts.contains_key(&(rule.clone(), path.clone())) {
+            outcome.notes.push(format!(
+                "stale baseline: {rule} in {path} has no findings anymore — run \
+                 `cargo run -p byom_lint -- bless`"
+            ));
+        }
+    }
+    outcome.allow_entries_used = used_allow_entries.len();
+    outcome.new_findings.sort();
+    Ok(outcome)
+}
+
+/// Rewrite the baseline to the current tree state: everything beyond the
+/// `[[allow]]` budgets gets baselined. Returns the new counts.
+pub fn bless(root: &Path, config: &Config, baseline_path: &Path) -> Result<Counts, String> {
+    let (_, findings) = scan(root, config)?;
+    let mut counts = count(&findings);
+    counts.retain(|(rule, path), n| {
+        let allow_budget = config
+            .allow_for(rule, path)
+            .map_or(0, |a| a.max.unwrap_or(usize::MAX));
+        if *n > allow_budget {
+            *n -= allow_budget;
+            true
+        } else {
+            false
+        }
+    });
+    baseline::store(baseline_path, &counts)?;
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config;
+
+    fn write(dir: &Path, rel: &str, contents: &str) {
+        let path = dir.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, contents).unwrap();
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("byom_lint_engine_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const CONFIG: &str = r#"
+roots = ["src"]
+exclude = []
+[[allow]]
+rule = "panic-surface"
+path = "src/allowed.rs"
+max = 1
+reason = "test fixture"
+"#;
+
+    #[test]
+    fn check_charges_allow_then_baseline_then_fails() {
+        let root = temp_root("charge");
+        write(&root, "src/allowed.rs", "fn f() { g().unwrap(); }\n");
+        write(
+            &root,
+            "src/hot.rs",
+            "fn f() { g().unwrap(); h().unwrap(); }\n",
+        );
+        let cfg = config::parse(CONFIG).unwrap();
+        let baseline_path = root.join("lint.baseline");
+
+        // No baseline: allowed.rs is covered by [[allow]], hot.rs is new.
+        let out = check(&root, &cfg, &baseline_path).unwrap();
+        assert_eq!(out.total_findings, 3);
+        assert_eq!(out.allowed_findings, 1);
+        assert_eq!(out.new_findings.len(), 2);
+        assert!(out.new_findings.iter().all(|f| f.path == "src/hot.rs"));
+
+        // Bless, then the same tree checks clean.
+        let blessed = bless(&root, &cfg, &baseline_path).unwrap();
+        assert_eq!(
+            blessed
+                .get(&("panic-surface".into(), "src/hot.rs".into()))
+                .copied(),
+            Some(2)
+        );
+        assert!(!blessed.contains_key(&("panic-surface".into(), "src/allowed.rs".into())));
+        let out = check(&root, &cfg, &baseline_path).unwrap();
+        assert!(out.new_findings.is_empty(), "{out:#?}");
+        assert_eq!(out.baselined_findings, 2);
+
+        // A new violation beyond the baseline fails again.
+        write(
+            &root,
+            "src/hot.rs",
+            "fn f() { g().unwrap(); h().unwrap(); i().unwrap(); }\n",
+        );
+        let out = check(&root, &cfg, &baseline_path).unwrap();
+        assert_eq!(out.new_findings.len(), 3, "whole group is reported");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fixed_violations_surface_as_stale_baseline_notes() {
+        let root = temp_root("stale");
+        write(&root, "src/a.rs", "fn f() { g().unwrap(); }\n");
+        let cfg = config::parse("roots = [\"src\"]\n").unwrap();
+        let baseline_path = root.join("lint.baseline");
+        bless(&root, &cfg, &baseline_path).unwrap();
+
+        write(&root, "src/a.rs", "fn f() -> R { g() }\n");
+        let out = check(&root, &cfg, &baseline_path).unwrap();
+        assert!(out.new_findings.is_empty());
+        assert!(out.notes.iter().any(|n| n.contains("stale baseline")));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn files_are_collected_sorted_and_exclusions_hold() {
+        let root = temp_root("walk");
+        write(&root, "src/b.rs", "");
+        write(&root, "src/a.rs", "");
+        write(&root, "src/skip/c.rs", "");
+        let cfg = config::parse("roots = [\"src\"]\nexclude = [\"src/skip\"]\n").unwrap();
+        let files = collect_files(&root, &cfg).unwrap();
+        assert_eq!(files, vec!["src/a.rs".to_string(), "src/b.rs".to_string()]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

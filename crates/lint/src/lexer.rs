@@ -1,0 +1,366 @@
+//! A hand-rolled token-level lexer for Rust source.
+//!
+//! The analyzer does not need a full parse tree: every rule it enforces is
+//! expressible over a flat token stream with line numbers, provided the
+//! stream correctly skips comments and string/char literals (so an
+//! `.unwrap()` inside a doc-comment example or a `"HashMap"` string never
+//! triggers a finding). Comments are not discarded entirely — their text and
+//! line are kept on the side so suppression directives like
+//! `// lint: ordered-reduction` can be honoured.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// The token classes the rules care about. Literal *contents* are dropped —
+/// only their presence matters for brace/paren tracking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`let`, `for`, `HashMap`, ...).
+    Ident(String),
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Any single punctuation character (`.`, `:`, `[`, `!`, ...).
+    Punct(char),
+    /// A numeric literal.
+    Number,
+    /// A string, raw-string, byte-string, or char literal.
+    Literal,
+}
+
+/// A comment with its location, preserved for suppression directives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// A lexed source file: the token stream plus the comment side-channel.
+#[derive(Debug, Clone, Default)]
+pub struct LexedFile {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl LexedFile {
+    /// Whether any comment on `line` (or the line directly above it)
+    /// contains the given suppression directive text.
+    pub fn has_directive_near(&self, line: u32, directive: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|c| (c.line == line || c.line + 1 == line) && c.text.contains(directive))
+    }
+}
+
+/// Lex `source` into tokens and comments. Never fails: unterminated literals
+/// simply consume the rest of the input (the analyzer runs on code that
+/// rustc already accepted, so this is a non-issue in practice).
+pub fn lex(source: &str) -> LexedFile {
+    let bytes = source.as_bytes();
+    let mut out = LexedFile::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                let start_line = line;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: source[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: source[start..i.min(source.len())].to_string(),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                i = skip_string(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+            }
+            'r' | 'b' if starts_string_prefix(bytes, i) => {
+                let start_line = line;
+                i = skip_prefixed_string(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Disambiguate char literal from lifetime: a lifetime is `'`
+                // followed by ident chars *not* closed by a matching `'`.
+                if is_char_literal(bytes, i) {
+                    i = skip_char_literal(bytes, i);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line,
+                    });
+                } else {
+                    i += 1;
+                    while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len() && is_number_char(bytes[i] as char) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(source[start..i].to_string()),
+                    line,
+                });
+            }
+            c => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn is_number_char(c: char) -> bool {
+    // Good enough for counting purposes: digits, underscores, radix letters,
+    // exponents, and type suffixes all collapse into one Number token.
+    // A trailing range like `0..n` is not consumed because `.` is handled
+    // only when followed by a digit-compatible continuation; keep it simple
+    // and exclude `.` entirely (so `1.5` lexes as Number Punct Number, which
+    // no rule cares about).
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Does `r...` / `b...` at `i` begin a raw/byte string (as opposed to a
+/// plain identifier like `result`)?
+fn starts_string_prefix(bytes: &[u8], i: usize) -> bool {
+    // Must not be in the middle of an identifier.
+    if i > 0 && is_ident_char(bytes[i - 1] as char) {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'r' {
+        j += 1;
+        while j < bytes.len() && bytes[j] == b'#' {
+            j += 1;
+        }
+    }
+    j < bytes.len() && bytes[j] == b'"' && j > i
+}
+
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_prefixed_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'r' {
+        i += 1;
+        let mut hashes = 0usize;
+        while i < bytes.len() && bytes[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        while i < bytes.len() {
+            if bytes[i] == b'\n' {
+                *line += 1;
+                i += 1;
+            } else if bytes[i] == b'"' {
+                let mut j = i + 1;
+                let mut seen = 0usize;
+                while j < bytes.len() && bytes[j] == b'#' && seen < hashes {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    return j;
+                }
+                i += 1;
+            } else {
+                i += 1;
+            }
+        }
+        i
+    } else {
+        // b"..."
+        skip_string(bytes, i, line)
+    }
+}
+
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    // `'x'`, `'\n'`, `'\''`, `'\u{1F600}'` are char literals; `'a` (no
+    // closing quote within the escape-aware window) is a lifetime.
+    let mut j = i + 1;
+    if j >= bytes.len() {
+        return false;
+    }
+    if bytes[j] == b'\\' {
+        return true; // escapes only occur in char literals
+    }
+    // Multi-byte UTF-8 scalar: skip continuation bytes.
+    j += 1;
+    while j < bytes.len() && (bytes[j] & 0b1100_0000) == 0b1000_0000 {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'\''
+}
+
+fn skip_char_literal(bytes: &[u8], mut i: usize) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_produce_idents() {
+        let src = r##"
+            // HashMap in a comment
+            /* unwrap() in a block /* nested */ comment */
+            let s = "HashMap.unwrap()";
+            let r = r#"thread_rng"#;
+            let c = 'x';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'y' }").tokens;
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let literals = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let lexed = lex("x\n// lint: ordered-reduction\ny");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.has_directive_near(2, "lint: ordered-reduction"));
+        assert!(lexed.has_directive_near(3, "lint: ordered-reduction"));
+        assert!(!lexed.has_directive_near(4, "lint: ordered-reduction"));
+    }
+
+    #[test]
+    fn raw_identifier_r_is_not_a_string_prefix() {
+        let ids = idents("let result = rate * r2;");
+        assert!(ids.contains(&"result".to_string()));
+        assert!(ids.contains(&"r2".to_string()));
+    }
+}

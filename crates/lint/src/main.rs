@@ -1,0 +1,125 @@
+//! CLI entry point: `byom_lint check [--json]` / `byom_lint bless`.
+
+#![forbid(unsafe_code)]
+
+use byom_lint::{config, engine, report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+byom_lint — determinism & panic-surface analyzer for this workspace
+
+USAGE:
+    cargo run -p byom_lint -- <COMMAND> [OPTIONS]
+
+COMMANDS:
+    check    scan the tree and fail (exit 1) on violations beyond the
+             lint.toml allowlist and the committed baseline
+    bless    rewrite the baseline to accept the current tree
+
+OPTIONS:
+    --root <DIR>        repository root to scan        [default: .]
+    --config <FILE>     configuration file             [default: <root>/lint.toml]
+    --baseline <FILE>   baseline file                  [default: <root>/lint.baseline]
+    --json              (check) emit a JSON report instead of text
+";
+
+struct Args {
+    command: String,
+    root: PathBuf,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(|| "missing command".to_string())?;
+    let mut parsed = Args {
+        command,
+        root: PathBuf::from("."),
+        config: None,
+        baseline: None,
+        json: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => parsed.root = take_value(&mut args, "--root")?.into(),
+            "--config" => parsed.config = Some(take_value(&mut args, "--config")?.into()),
+            "--baseline" => parsed.baseline = Some(take_value(&mut args, "--baseline")?.into()),
+            "--json" => parsed.json = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn take_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.baseline"));
+    let config = match config::load(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match args.command.as_str() {
+        "check" => match engine::check(&args.root, &config, &baseline_path) {
+            Ok(outcome) => {
+                if args.json {
+                    println!("{}", report::json(&outcome));
+                } else {
+                    print!("{}", report::human(&outcome));
+                }
+                if outcome.new_findings.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(1)
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "bless" => match engine::bless(&args.root, &config, &baseline_path) {
+            Ok(counts) => {
+                let total: usize = counts.values().sum();
+                println!(
+                    "blessed {} finding(s) across {} (rule, file) pair(s) into {}",
+                    total,
+                    counts.len(),
+                    baseline_path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        other => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,617 @@
+//! The determinism & panic-surface rules.
+//!
+//! Each rule is a pure function over a [`LexedFile`]. The rules are
+//! heuristic by design — a token stream has no types — but they are tuned to
+//! the failure modes that would silently break this repository's
+//! bit-reproducibility contract, and every suppression must be justified in
+//! `lint.toml` (or, for `float-reduction-order`, by an inline
+//! `// lint: ordered-reduction` comment).
+
+use crate::lexer::{LexedFile, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Rule: iterating a `HashMap`/`HashSet` in a result-affecting crate.
+pub const NO_UNORDERED_ITERATION: &str = "no-unordered-iteration";
+/// Rule: reading the wall clock outside the bench crate.
+pub const NO_WALL_CLOCK: &str = "no-wall-clock";
+/// Rule: constructing an unseeded random generator.
+pub const NO_UNSEEDED_RNG: &str = "no-unseeded-rng";
+/// Rule: `unwrap`/`expect`/`panic!`/slice indexing in non-test library code.
+pub const PANIC_SURFACE: &str = "panic-surface";
+/// Rule: parallel iterator chains ending in an order-sensitive reduction.
+pub const FLOAT_REDUCTION_ORDER: &str = "float-reduction-order";
+
+/// Every rule, in reporting order.
+pub const ALL_RULES: &[&str] = &[
+    NO_UNORDERED_ITERATION,
+    NO_WALL_CLOCK,
+    NO_UNSEEDED_RNG,
+    PANIC_SURFACE,
+    FLOAT_REDUCTION_ORDER,
+];
+
+/// The inline-comment directive that justifies an ordered parallel reduction.
+pub const ORDERED_REDUCTION_DIRECTIVE: &str = "lint: ordered-reduction";
+
+/// One rule violation in one file.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path, filled in by the engine.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier (one of the `pub const` rule names).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Run one rule by name. Findings come back with an empty `path`.
+pub fn run_rule(rule: &'static str, lexed: &LexedFile) -> Vec<Finding> {
+    match rule {
+        NO_UNORDERED_ITERATION => no_unordered_iteration(lexed),
+        NO_WALL_CLOCK => no_wall_clock(lexed),
+        NO_UNSEEDED_RNG => no_unseeded_rng(lexed),
+        PANIC_SURFACE => panic_surface(lexed),
+        FLOAT_REDUCTION_ORDER => float_reduction_order(lexed),
+        other => unreachable!("unknown rule {other}"),
+    }
+}
+
+fn ident(tok: &Token) -> Option<&str> {
+    match &tok.kind {
+        TokenKind::Ident(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn is_punct(tok: &Token, c: char) -> bool {
+    tok.kind == TokenKind::Punct(c)
+}
+
+fn is_ident(tok: &Token, name: &str) -> bool {
+    matches!(&tok.kind, TokenKind::Ident(s) if s == name)
+}
+
+/// Line spans (inclusive) of `#[test]` functions and `#[cfg(test)]` items.
+/// Rules that only apply to shipped code skip findings inside these spans.
+pub fn test_spans(lexed: &LexedFile) -> Vec<(u32, u32)> {
+    let toks = &lexed.tokens;
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if is_punct(&toks[i], '#') && is_punct(&toks[i + 1], '[') {
+            let is_test_attr = is_ident(&toks[i + 2], "test")
+                || (is_ident(&toks[i + 2], "cfg")
+                    && toks.get(i + 3).is_some_and(|t| is_punct(t, '('))
+                    && toks.get(i + 4).is_some_and(|t| is_ident(t, "test")));
+            if is_test_attr {
+                // Skip to the end of this attribute, then over any further
+                // attributes, then swallow the braces of the annotated item.
+                let mut j = skip_balanced(toks, i + 1, '[', ']');
+                while j + 1 < toks.len() && is_punct(&toks[j], '#') && is_punct(&toks[j + 1], '[') {
+                    j = skip_balanced(toks, j + 1, '[', ']');
+                }
+                // Find the item's opening brace (skipping e.g. `mod tests`,
+                // `fn name() -> T`), then its matching close.
+                while j < toks.len() && !is_punct(&toks[j], '{') && !is_punct(&toks[j], ';') {
+                    j += 1;
+                }
+                if j < toks.len() && is_punct(&toks[j], '{') {
+                    let start_line = toks[i].line;
+                    let end = skip_balanced(toks, j, '{', '}');
+                    let end_line = toks.get(end.saturating_sub(1)).map_or(u32::MAX, |t| t.line);
+                    spans.push((start_line, end_line));
+                    i = end;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Index just past the token that closes the group opened at `open_idx`.
+fn skip_balanced(toks: &[Token], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0i32;
+    let mut j = open_idx;
+    while j < toks.len() {
+        if is_punct(&toks[j], open) {
+            depth += 1;
+        } else if is_punct(&toks[j], close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+fn in_spans(line: u32, spans: &[(u32, u32)]) -> bool {
+    spans.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// `HashMap`/`HashSet` iteration: taint identifiers declared with an
+/// unordered-collection type (field, binding, or parameter), then flag
+/// `for … in tainted`, `tainted.iter()`, `.keys()`, `.values()`,
+/// `.into_iter()`, `.drain()`, `.into_keys()`, `.into_values()`, and
+/// `.retain()` (retain visits in iteration order and can observe shared
+/// state). Uses of a tainted map that never iterate — `get`, `insert`,
+/// `entry`, `contains_key`, `len` — are fine: lookups are order-free.
+fn no_unordered_iteration(lexed: &LexedFile) -> Vec<Finding> {
+    let toks = &lexed.tokens;
+    let spans = test_spans(lexed);
+    let mut tainted: BTreeSet<String> = BTreeSet::new();
+
+    for (i, tok) in toks.iter().enumerate() {
+        let Some(name) = ident(tok) else { continue };
+        if name != "HashMap" && name != "HashSet" {
+            continue;
+        }
+        // Step back over a `std :: collections ::` style path prefix.
+        let mut j = i;
+        while j >= 3
+            && is_punct(&toks[j - 1], ':')
+            && is_punct(&toks[j - 2], ':')
+            && ident(&toks[j - 3]).is_some()
+        {
+            j -= 3;
+        }
+        // Step back over `&`, `&mut`, and lifetimes between `:` and the type.
+        let mut k = j;
+        while k >= 1
+            && (is_punct(&toks[k - 1], '&')
+                || is_ident(&toks[k - 1], "mut")
+                || toks[k - 1].kind == TokenKind::Lifetime)
+        {
+            k -= 1;
+        }
+        // `name : [&mut] HashMap<...>` — a field, binding, or parameter.
+        if k >= 2
+            && is_punct(&toks[k - 1], ':')
+            && !(k >= 3 && is_punct(&toks[k - 2], ':'))
+            && ident(&toks[k - 2]).is_some()
+        {
+            if let Some(n) = ident(&toks[k - 2]) {
+                tainted.insert(n.to_string());
+            }
+        }
+        // `let [mut] name = HashMap::new()` / `with_capacity` / `from`.
+        if j >= 2 && is_punct(&toks[j - 1], '=') {
+            let mut b = j - 1;
+            if b >= 1 && ident(&toks[b - 1]).is_some() {
+                b -= 1;
+                let n = ident(&toks[b]).map(str::to_string);
+                let is_let_binding = (b >= 1 && is_ident(&toks[b - 1], "let"))
+                    || (b >= 2 && is_ident(&toks[b - 1], "mut") && is_ident(&toks[b - 2], "let"));
+                if is_let_binding {
+                    if let Some(n) = n {
+                        tainted.insert(n);
+                    }
+                }
+            }
+        }
+    }
+
+    const ITER_METHODS: &[&str] = &[
+        "iter",
+        "iter_mut",
+        "into_iter",
+        "keys",
+        "into_keys",
+        "values",
+        "values_mut",
+        "into_values",
+        "drain",
+        "retain",
+    ];
+
+    let mut findings = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if in_spans(tok.line, &spans) {
+            continue;
+        }
+        // `tainted . iter (`
+        if let Some(name) = ident(tok) {
+            if tainted.contains(name)
+                && toks.get(i + 1).is_some_and(|t| is_punct(t, '.'))
+                && toks
+                    .get(i + 2)
+                    .and_then(ident)
+                    .is_some_and(|m| ITER_METHODS.contains(&m))
+                && toks.get(i + 3).is_some_and(|t| is_punct(t, '('))
+            {
+                let method = ident(&toks[i + 2]).unwrap_or_default();
+                findings.push(Finding {
+                    path: String::new(),
+                    line: tok.line,
+                    rule: NO_UNORDERED_ITERATION,
+                    message: format!(
+                        "`{name}.{method}()` iterates an unordered collection; use BTreeMap/BTreeSet \
+                         or collect-and-sort so results cannot depend on hash order"
+                    ),
+                });
+            }
+        }
+        // `for PAT in [&[mut]] tainted {`
+        if is_ident(tok, "for") {
+            // Find the `in` of this for-loop within a small window.
+            for j in i + 1..(i + 24).min(toks.len()) {
+                if is_punct(&toks[j], '{') {
+                    break;
+                }
+                if !is_ident(&toks[j], "in") {
+                    continue;
+                }
+                let mut k = j + 1;
+                while k < toks.len() && (is_punct(&toks[k], '&') || is_ident(&toks[k], "mut")) {
+                    k += 1;
+                }
+                if let Some(name) = toks.get(k).and_then(ident) {
+                    if tainted.contains(name) && toks.get(k + 1).is_some_and(|t| is_punct(t, '{')) {
+                        findings.push(Finding {
+                            path: String::new(),
+                            line: tok.line,
+                            rule: NO_UNORDERED_ITERATION,
+                            message: format!(
+                                "`for … in {name}` iterates an unordered collection; use \
+                                 BTreeMap/BTreeSet or collect-and-sort first"
+                            ),
+                        });
+                    }
+                }
+                break;
+            }
+        }
+    }
+    findings
+}
+
+/// Wall-clock reads: `Instant::now()` and any use of `SystemTime`.
+fn no_wall_clock(lexed: &LexedFile) -> Vec<Finding> {
+    let toks = &lexed.tokens;
+    let mut findings = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if is_ident(tok, "Instant")
+            && toks.get(i + 1).is_some_and(|t| is_punct(t, ':'))
+            && toks.get(i + 2).is_some_and(|t| is_punct(t, ':'))
+            && toks.get(i + 3).is_some_and(|t| is_ident(t, "now"))
+        {
+            findings.push(Finding {
+                path: String::new(),
+                line: tok.line,
+                rule: NO_WALL_CLOCK,
+                message: "`Instant::now()` reads the wall clock; results must be a pure \
+                          function of seeds and inputs (timing belongs in crates/bench)"
+                    .into(),
+            });
+        }
+        if is_ident(tok, "SystemTime") {
+            findings.push(Finding {
+                path: String::new(),
+                line: tok.line,
+                rule: NO_WALL_CLOCK,
+                message: "`SystemTime` reads the wall clock; results must be a pure function \
+                          of seeds and inputs (timing belongs in crates/bench)"
+                    .into(),
+            });
+        }
+    }
+    findings
+}
+
+/// Unseeded randomness: `thread_rng()`, `from_entropy()`, `rand::random`.
+fn no_unseeded_rng(lexed: &LexedFile) -> Vec<Finding> {
+    let toks = &lexed.tokens;
+    let mut findings = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        let flagged = match ident(tok) {
+            Some("thread_rng") | Some("from_entropy") => true,
+            Some("random") => {
+                i >= 3
+                    && is_ident(&toks[i - 3], "rand")
+                    && is_punct(&toks[i - 2], ':')
+                    && is_punct(&toks[i - 1], ':')
+            }
+            _ => false,
+        };
+        if flagged {
+            let what = ident(tok).unwrap_or_default();
+            findings.push(Finding {
+                path: String::new(),
+                line: tok.line,
+                rule: NO_UNSEEDED_RNG,
+                message: format!(
+                    "`{what}` draws OS entropy; every RNG must be seeded (StdRng::seed_from_u64) \
+                     so runs are reproducible"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Panic surface in non-test code: `.unwrap()`, `.expect()`, `panic!`,
+/// `todo!`, `unimplemented!`, and slice indexing `x[i]`.
+fn panic_surface(lexed: &LexedFile) -> Vec<Finding> {
+    let toks = &lexed.tokens;
+    let spans = test_spans(lexed);
+    let mut findings = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if in_spans(tok.line, &spans) {
+            continue;
+        }
+        // `. unwrap (` / `. expect (`
+        if is_punct(tok, '.') {
+            if let Some(m) = toks.get(i + 1).and_then(ident) {
+                if (m == "unwrap" || m == "expect")
+                    && toks.get(i + 2).is_some_and(|t| is_punct(t, '('))
+                {
+                    findings.push(Finding {
+                        path: String::new(),
+                        line: tok.line,
+                        rule: PANIC_SURFACE,
+                        message: format!(
+                            "`.{m}()` panics on bad input; thread a Result through instead"
+                        ),
+                    });
+                }
+            }
+        }
+        // `panic!` / `todo!` / `unimplemented!`
+        if let Some(m) = ident(tok) {
+            if (m == "panic" || m == "todo" || m == "unimplemented")
+                && toks.get(i + 1).is_some_and(|t| is_punct(t, '!'))
+            {
+                findings.push(Finding {
+                    path: String::new(),
+                    line: tok.line,
+                    rule: PANIC_SURFACE,
+                    message: format!("`{m}!` in library code; return an error instead"),
+                });
+            }
+        }
+        // Slice/array indexing: `[` directly after an identifier, `)`, or `]`.
+        if is_punct(tok, '[') && i >= 1 {
+            let prev = &toks[i - 1];
+            let indexes_expr = ident(prev).is_some_and(|n| !is_keyword(n))
+                || is_punct(prev, ')')
+                || is_punct(prev, ']');
+            // `x[..]` (full-range slicing) cannot panic; skip it.
+            let full_range = toks.get(i + 1).is_some_and(|t| is_punct(t, '.'))
+                && toks.get(i + 2).is_some_and(|t| is_punct(t, '.'))
+                && toks.get(i + 3).is_some_and(|t| is_punct(t, ']'));
+            if indexes_expr && !full_range {
+                findings.push(Finding {
+                    path: String::new(),
+                    line: tok.line,
+                    rule: PANIC_SURFACE,
+                    message: "slice indexing panics when out of bounds; prefer `.get()` or \
+                              justify the invariant in the allowlist"
+                        .into(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`return [..]`, `break [..]`, `in [..]`, ...).
+fn is_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "return" | "break" | "in" | "if" | "else" | "match" | "mut" | "ref" | "move" | "as"
+    )
+}
+
+/// Parallel-iterator chains that end in an order-sensitive reduction
+/// (`.sum()`, `.product()`, `.reduce()`): floating-point addition is not
+/// associative, so the reduction tree shape must be pinned. Justify a
+/// provably ordered (or integer) reduction with `// lint: ordered-reduction`
+/// on or above the offending line.
+fn float_reduction_order(lexed: &LexedFile) -> Vec<Finding> {
+    const PAR_SOURCES: &[&str] = &[
+        "par_iter",
+        "par_iter_mut",
+        "into_par_iter",
+        "par_chunks",
+        "par_bridge",
+        "par_windows",
+    ];
+    const REDUCERS: &[&str] = &["sum", "product", "reduce", "fold"];
+
+    let toks = &lexed.tokens;
+    let mut findings = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        let Some(src) = ident(tok) else { continue };
+        if !PAR_SOURCES.contains(&src) {
+            continue;
+        }
+        // Walk the rest of the statement; a reducer call at chain depth 0
+        // (i.e. not inside a closure argument) ends the parallel chain.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let limit = (i + 400).min(toks.len());
+        while j < limit {
+            match &toks[j].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                TokenKind::Punct(';') if depth == 0 => break,
+                TokenKind::Ident(m)
+                    if depth == 0
+                        && REDUCERS.contains(&m.as_str())
+                        && j >= 1
+                        && is_punct(&toks[j - 1], '.') =>
+                {
+                    let line = toks[j].line;
+                    let justified = lexed.has_directive_near(line, ORDERED_REDUCTION_DIRECTIVE)
+                        || lexed.has_directive_near(tok.line, ORDERED_REDUCTION_DIRECTIVE);
+                    if !justified {
+                        findings.push(Finding {
+                            path: String::new(),
+                            line,
+                            rule: FLOAT_REDUCTION_ORDER,
+                            message: format!(
+                                "`{src}()…{m}()` reduces in nondeterministic order; if the \
+                                 element type is floating-point the result depends on the \
+                                 split schedule — collect and reduce sequentially, or add \
+                                 `// {ORDERED_REDUCTION_DIRECTIVE}` with a justification"
+                            ),
+                        });
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(rule: &'static str, src: &str) -> Vec<Finding> {
+        run_rule(rule, &lex(src))
+    }
+
+    #[test]
+    fn flags_hashmap_iteration_but_not_lookups() {
+        let src = r#"
+            struct S { stats: HashMap<String, u64> }
+            fn f(s: &S, m: &mut std::collections::HashSet<u32>) {
+                let hit = s.stats.get("x");           // lookup: fine
+                for (k, v) in s.stats { use_it(k, v) } // not matched: field expr
+                for v in m { touch(v) }                // flagged
+                let total: u64 = s.stats.values().sum(); // flagged
+                let n = s.stats.len();                 // fine
+            }
+        "#;
+        let f = run(NO_UNORDERED_ITERATION, src);
+        assert_eq!(f.len(), 2, "{f:#?}");
+        assert!(f.iter().any(|x| x.line == 6));
+        assert!(f.iter().any(|x| x.line == 7));
+    }
+
+    #[test]
+    fn flags_let_bound_hashmap_iteration() {
+        let src = r#"
+            fn f() {
+                let mut groups = HashMap::new();
+                groups.insert(1, 2);
+                for (k, v) in groups { use_it(k, v) }
+            }
+        "#;
+        let f = run(NO_UNORDERED_ITERATION, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn btreemap_is_clean() {
+        let src = r#"
+            fn f() {
+                let mut groups: BTreeMap<u32, u32> = BTreeMap::new();
+                for (k, v) in groups { use_it(k, v) }
+            }
+        "#;
+        assert!(run(NO_UNORDERED_ITERATION, src).is_empty());
+    }
+
+    #[test]
+    fn flags_wall_clock_and_rng() {
+        let src = r#"
+            fn f() {
+                let t = Instant::now();
+                let s = std::time::SystemTime::now();
+                let mut rng = rand::thread_rng();
+                let r = StdRng::from_entropy();
+                let x: f64 = rand::random();
+            }
+        "#;
+        assert_eq!(run(NO_WALL_CLOCK, src).len(), 2);
+        assert_eq!(run(NO_UNSEEDED_RNG, src).len(), 3);
+    }
+
+    #[test]
+    fn seeded_rng_is_clean() {
+        let src = "fn f() { let mut rng = StdRng::seed_from_u64(7); }";
+        assert!(run(NO_UNSEEDED_RNG, src).is_empty());
+    }
+
+    #[test]
+    fn panic_surface_counts_unwraps_and_indexing_outside_tests() {
+        let src = r#"
+            fn f(v: &[f64], i: usize) -> f64 {
+                let x = v.first().unwrap();
+                let y = maybe().expect("present");
+                let z = v[i];
+                let all = &v[..];   // full-range: cannot panic
+                panic!("boom");
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    let q = compute().unwrap();
+                    let w = data[3];
+                }
+            }
+        "#;
+        let f = run(PANIC_SURFACE, src);
+        assert_eq!(f.len(), 4, "{f:#?}");
+        assert!(f.iter().all(|x| x.line <= 7));
+    }
+
+    #[test]
+    fn attributes_and_vec_macro_are_not_indexing() {
+        let src = r#"
+            #[derive(Debug, Clone)]
+            struct S { a: [f64; 3] }
+            fn f() -> Vec<u8> { vec![1, 2, 3] }
+        "#;
+        assert!(run(PANIC_SURFACE, src).is_empty());
+    }
+
+    #[test]
+    fn flags_par_iter_sum_without_directive() {
+        let src = r#"
+            fn f(v: &[f64]) -> f64 {
+                v.par_iter().map(|x| x * 2.0).sum()
+            }
+            fn g(v: &[f64]) -> f64 {
+                // lint: ordered-reduction — reviewed, reduces over integers
+                v.par_iter().map(|x| x.round() as i64).sum::<i64>() as f64
+            }
+            fn h(v: &[Vec<f64>]) -> Vec<f64> {
+                // inner sum is sequential (inside the closure): clean
+                v.par_iter().map(|x| x.iter().sum()).collect()
+            }
+        "#;
+        let f = run(FLOAT_REDUCTION_ORDER, src);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_modules() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n fn b() {}\n}\nfn c() {}\n";
+        let spans = test_spans(&lex(src));
+        assert_eq!(spans.len(), 1);
+        assert!(in_spans(4, &spans));
+        assert!(!in_spans(1, &spans));
+        assert!(!in_spans(6, &spans));
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: deterministic, panic-free code — zero findings expected.
+use std::collections::BTreeMap;
+
+pub fn totals(entries: &BTreeMap<String, u64>) -> u64 {
+    let mut total = 0;
+    for value in entries.values() {
+        total += value;
+    }
+    total
+}
+
+pub fn safe_get(values: &[u64], index: usize) -> Option<u64> {
+    values.get(index).copied()
+}

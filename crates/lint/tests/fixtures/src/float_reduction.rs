@@ -1,0 +1,15 @@
+//! Fixture: parallel float reductions without an ordering guarantee.
+use rayon::prelude::*;
+
+pub fn flagged(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum()
+}
+
+pub fn suppressed(xs: &[f64]) -> f64 {
+    // lint: ordered-reduction — summing bit-identical terms, order-insensitive here
+    xs.par_iter().map(|x| x * 2.0).sum()
+}
+
+pub fn legal(xs: &[f64]) -> Vec<f64> {
+    xs.par_iter().map(|x| x * 2.0).collect()
+}

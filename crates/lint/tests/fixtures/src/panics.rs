@@ -1,0 +1,20 @@
+//! Fixture: panic surface in library code; test modules are exempt.
+
+pub fn flagged(values: &[u64], index: usize) -> u64 {
+    let first = values.first().unwrap();
+    let second = values.get(1).expect("needs two values");
+    if index >= values.len() {
+        panic!("index out of range");
+    }
+    first + second + values[index]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_in_tests_are_exempt() {
+        let values = vec![1u64, 2];
+        assert_eq!(values[0], 1);
+        let _ = values.first().unwrap();
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: OS-entropy RNG construction (unreproducible).
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn flagged() -> (StdRng, impl rand::Rng) {
+    let from_os = StdRng::from_entropy();
+    let thread_local = rand::thread_rng();
+    (from_os, thread_local)
+}
+
+pub fn legal(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

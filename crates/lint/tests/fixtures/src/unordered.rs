@@ -1,0 +1,17 @@
+//! Fixture: HashMap/HashSet iteration (non-deterministic order) vs lookups.
+use std::collections::{HashMap, HashSet};
+
+pub fn flagged(map: &HashMap<String, u64>, set: &HashSet<u64>) -> u64 {
+    let mut total = 0;
+    for (_key, value) in map.iter() {
+        total += value;
+    }
+    for value in set {
+        total += value;
+    }
+    total
+}
+
+pub fn legal(map: &HashMap<String, u64>) -> Option<u64> {
+    map.get("answer").copied()
+}

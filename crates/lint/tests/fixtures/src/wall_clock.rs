@@ -1,0 +1,8 @@
+//! Fixture: wall-clock reads that make results depend on the host.
+use std::time::{Instant, SystemTime};
+
+pub fn flagged() -> bool {
+    let started = Instant::now();
+    let wall = SystemTime::now();
+    started.elapsed().as_nanos() > 0 && wall.elapsed().is_ok()
+}

@@ -1,0 +1,166 @@
+//! End-to-end tests against a fixture tree with known violations: golden
+//! finding list, bless → check round-trip, CLI exit codes, and a guard that
+//! the repository itself stays clean under its committed configuration.
+
+use byom_lint::{config, engine};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_config() -> config::Config {
+    config::load(&fixture_root().join("lint.toml")).expect("fixture config parses")
+}
+
+fn temp_baseline(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("byom_lint_golden_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(format!("{tag}.baseline"))
+}
+
+/// The complete expected finding list for the fixture tree, one
+/// `rule<TAB>path:line` per entry. Keep sorted the way `engine::scan`
+/// sorts (by path, then line, then rule).
+const GOLDEN: &[&str] = &[
+    "float-reduction-order\tsrc/float_reduction.rs:5",
+    "panic-surface\tsrc/panics.rs:4",
+    "panic-surface\tsrc/panics.rs:5",
+    "panic-surface\tsrc/panics.rs:7",
+    "panic-surface\tsrc/panics.rs:9",
+    "no-unseeded-rng\tsrc/rng.rs:6",
+    "no-unseeded-rng\tsrc/rng.rs:7",
+    "no-unordered-iteration\tsrc/unordered.rs:6",
+    "no-unordered-iteration\tsrc/unordered.rs:9",
+    // The `use std::time::{.., SystemTime}` import is flagged too: any
+    // mention of SystemTime outside crates/bench is suspect by design.
+    "no-wall-clock\tsrc/wall_clock.rs:2",
+    "no-wall-clock\tsrc/wall_clock.rs:5",
+    "no-wall-clock\tsrc/wall_clock.rs:6",
+];
+
+#[test]
+fn fixture_findings_match_golden_list() {
+    let (files, findings) = engine::scan(&fixture_root(), &fixture_config()).expect("scan");
+    assert_eq!(files, 6, "all six fixture files are scanned");
+    let got: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{}\t{}:{}", f.rule, f.path, f.line))
+        .collect();
+    let want: Vec<String> = GOLDEN.iter().map(|s| s.to_string()).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn clean_fixture_produces_no_findings() {
+    let (_, findings) = engine::scan(&fixture_root(), &fixture_config()).expect("scan");
+    assert!(
+        findings.iter().all(|f| f.path != "src/clean.rs"),
+        "clean.rs must stay free of findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn bless_then_check_round_trip() {
+    let root = fixture_root();
+    let cfg = fixture_config();
+    let baseline = temp_baseline("round_trip");
+    let _ = std::fs::remove_file(&baseline);
+
+    // Without a baseline every finding is new.
+    let before = engine::check(&root, &cfg, &baseline).expect("check");
+    assert_eq!(before.new_findings.len(), GOLDEN.len());
+
+    // After bless the same tree checks clean, with everything baselined.
+    let blessed = engine::bless(&root, &cfg, &baseline).expect("bless");
+    assert_eq!(blessed.values().sum::<usize>(), GOLDEN.len());
+    let after = engine::check(&root, &cfg, &baseline).expect("check");
+    assert!(after.new_findings.is_empty(), "{after:#?}");
+    assert_eq!(after.baselined_findings, GOLDEN.len());
+    assert!(after.notes.is_empty(), "fresh baseline has no staleness");
+
+    let _ = std::fs::remove_file(&baseline);
+}
+
+#[test]
+fn cli_reports_violations_with_exit_code_one() {
+    let bin = env!("CARGO_BIN_EXE_byom_lint");
+    let root = fixture_root();
+    let baseline = temp_baseline("cli_fail");
+    let _ = std::fs::remove_file(&baseline);
+
+    let output = Command::new(bin)
+        .args(["check", "--root"])
+        .arg(&root)
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("run byom_lint");
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "violations must fail the check"
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("panic-surface"),
+        "report names the rule:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("src/panics.rs"),
+        "report names the file:\n{stdout}"
+    );
+}
+
+#[test]
+fn cli_bless_then_check_exits_zero_and_json_is_well_formed() {
+    let bin = env!("CARGO_BIN_EXE_byom_lint");
+    let root = fixture_root();
+    let baseline = temp_baseline("cli_ok");
+    let _ = std::fs::remove_file(&baseline);
+
+    let bless = Command::new(bin)
+        .args(["bless", "--root"])
+        .arg(&root)
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("run byom_lint bless");
+    assert_eq!(bless.status.code(), Some(0), "bless succeeds");
+
+    let check = Command::new(bin)
+        .args(["check", "--json", "--root"])
+        .arg(&root)
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("run byom_lint check");
+    assert_eq!(check.status.code(), Some(0), "blessed tree checks clean");
+    let stdout = String::from_utf8_lossy(&check.stdout);
+    assert!(
+        stdout.contains("\"new_findings\":[]"),
+        "JSON report:\n{stdout}"
+    );
+    assert!(stdout.contains("\"ok\":true"), "JSON report:\n{stdout}");
+
+    let _ = std::fs::remove_file(&baseline);
+}
+
+/// The acceptance criterion for the linter itself: the repository checks
+/// clean under its committed `lint.toml` and `lint.baseline`. Any new
+/// violation anywhere in the workspace fails this test.
+#[test]
+fn repository_tree_checks_clean() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let cfg = config::load(&repo.join("lint.toml")).expect("repo lint.toml parses");
+    let outcome = engine::check(&repo, &cfg, &repo.join("lint.baseline")).expect("check");
+    assert!(
+        outcome.new_findings.is_empty(),
+        "repository must check clean; new findings:\n{:#?}",
+        outcome.new_findings
+    );
+}

@@ -12,7 +12,7 @@
 use byom_cost::JobCost;
 use byom_sim::{Device, PlacementPolicy, SystemState};
 use byom_trace::ShuffleJob;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration for [`CategoryHeuristic`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,8 +47,8 @@ struct CategoryStats {
 #[derive(Debug, Clone)]
 pub struct CategoryHeuristic {
     config: HeuristicConfig,
-    stats: HashMap<String, CategoryStats>,
-    admitted: HashSet<String>,
+    stats: BTreeMap<String, CategoryStats>,
+    admitted: BTreeSet<String>,
     jobs_since_rebuild: usize,
 }
 
@@ -57,8 +57,8 @@ impl CategoryHeuristic {
     pub fn new(config: HeuristicConfig) -> Self {
         CategoryHeuristic {
             config,
-            stats: HashMap::new(),
-            admitted: HashSet::new(),
+            stats: BTreeMap::new(),
+            admitted: BTreeSet::new(),
             jobs_since_rebuild: 0,
         }
     }
@@ -87,11 +87,7 @@ impl CategoryHeuristic {
             .iter()
             .filter(|(_, s)| s.total_savings > 0.0)
             .collect();
-        ranked.sort_by(|a, b| {
-            b.1.total_savings
-                .partial_cmp(&a.1.total_savings)
-                .expect("finite savings")
-        });
+        ranked.sort_by(|a, b| b.1.total_savings.total_cmp(&a.1.total_savings));
         let budget = capacity_bytes as f64 * self.config.capacity_headroom;
         let mut used = 0.0;
         self.admitted.clear();

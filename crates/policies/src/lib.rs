@@ -16,6 +16,7 @@
 //! The paper's own method (Adaptive Ranking) and its non-ML ablation
 //! (Adaptive Hash) live in `byom-core`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

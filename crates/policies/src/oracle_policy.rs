@@ -8,13 +8,13 @@
 use byom_cost::JobCost;
 use byom_sim::{Device, PlacementPolicy, SystemState};
 use byom_trace::{JobId, ShuffleJob};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Replays a precomputed mapping from job ID to placement decision.
 #[derive(Debug, Clone)]
 pub struct OraclePolicy {
     name: String,
-    decisions: HashMap<JobId, Device>,
+    decisions: BTreeMap<JobId, Device>,
     /// Device used for jobs absent from the decision map.
     default_device: Device,
 }
@@ -22,7 +22,7 @@ pub struct OraclePolicy {
 impl OraclePolicy {
     /// Create a playback policy from per-job decisions. Jobs not present in
     /// the map are placed on HDD.
-    pub fn new(name: impl Into<String>, decisions: HashMap<JobId, Device>) -> Self {
+    pub fn new(name: impl Into<String>, decisions: BTreeMap<JobId, Device>) -> Self {
         OraclePolicy {
             name: name.into(),
             decisions,
@@ -117,7 +117,7 @@ mod tests {
 
     #[test]
     fn unknown_jobs_default_to_hdd() {
-        let mut p = OraclePolicy::new("Oracle", HashMap::new());
+        let mut p = OraclePolicy::new("Oracle", BTreeMap::new());
         assert_eq!(p.place(&job(42), &cost(), &state()), Device::Hdd);
     }
 
@@ -129,7 +129,7 @@ mod tests {
 
     #[test]
     fn name_reflects_construction() {
-        let p = OraclePolicy::new("Oracle TCIO", HashMap::new());
+        let p = OraclePolicy::new("Oracle TCIO", BTreeMap::new());
         assert_eq!(p.name(), "Oracle TCIO");
     }
 }

@@ -30,6 +30,7 @@
 //! assert_eq!(result.outcomes.len(), trace.len());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

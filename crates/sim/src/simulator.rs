@@ -57,8 +57,7 @@ impl PartialOrd for Resident {
 impl Ord for Resident {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.end
-            .partial_cmp(&other.end)
-            .expect("finite end times")
+            .total_cmp(&other.end)
             .then(self.bytes.cmp(&other.bytes))
     }
 }

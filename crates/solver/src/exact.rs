@@ -43,7 +43,7 @@ pub fn solve_exact(
     order.sort_by(|&a, &b| {
         let da = objective.value(&jobs[a]) / jobs[a].ssd_byte_seconds().max(1e-9);
         let db = objective.value(&jobs[b]) / jobs[b].ssd_byte_seconds().max(1e-9);
-        db.partial_cmp(&da).expect("finite densities")
+        db.total_cmp(&da)
     });
     // Suffix sums of values for the upper bound.
     let values: Vec<f64> = order.iter().map(|&i| objective.value(&jobs[i])).collect();

@@ -30,6 +30,7 @@
 //! assert_eq!(solution.on_ssd.len(), costs.len());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

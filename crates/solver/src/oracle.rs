@@ -112,22 +112,16 @@ impl Oracle {
             |i: usize| self.objective.value(&jobs[i]) / jobs[i].ssd_byte_seconds().max(1e-9);
         #[allow(clippy::type_complexity)]
         let orderings: [Box<dyn Fn(&usize, &usize) -> std::cmp::Ordering>; 3] = [
-            Box::new(|&a: &usize, &b: &usize| {
-                density(b)
-                    .partial_cmp(&density(a))
-                    .expect("finite densities")
-            }),
+            Box::new(|&a: &usize, &b: &usize| density(b).total_cmp(&density(a))),
             Box::new(|&a: &usize, &b: &usize| {
                 self.objective
                     .value(&jobs[b])
-                    .partial_cmp(&self.objective.value(&jobs[a]))
-                    .expect("finite values")
+                    .total_cmp(&self.objective.value(&jobs[a]))
             }),
             Box::new(|&a: &usize, &b: &usize| {
                 jobs[a]
                     .ssd_byte_seconds()
-                    .partial_cmp(&jobs[b].ssd_byte_seconds())
-                    .expect("finite sizes")
+                    .total_cmp(&jobs[b].ssd_byte_seconds())
             }),
         ];
 
@@ -184,7 +178,13 @@ impl Oracle {
                 best = Some(solution);
             }
         }
-        best.expect("at least one ordering evaluated")
+        // Every ordering pass sets `best`; the empty fallback is unreachable
+        // but keeps the solver panic-free.
+        best.unwrap_or_else(|| OracleSolution {
+            on_ssd: vec![false; jobs.len()],
+            total_value: 0.0,
+            peak_occupancy: 0,
+        })
     }
 
     /// Sweep the oracle across several capacities (expressed in bytes),

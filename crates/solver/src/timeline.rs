@@ -31,7 +31,7 @@ impl Timeline {
             events.push(j.arrival);
             events.push(j.end());
         }
-        events.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        events.sort_by(|a, b| a.total_cmp(b));
         events.dedup();
         Timeline { events }
     }
@@ -52,10 +52,7 @@ impl Timeline {
     /// Index of the segment starting at time `t` (t must be an event time or
     /// between events; the segment containing `t` is returned).
     fn index_of(&self, t: f64) -> usize {
-        match self
-            .events
-            .binary_search_by(|e| e.partial_cmp(&t).expect("finite times"))
-        {
+        match self.events.binary_search_by(|e| e.total_cmp(&t)) {
             Ok(i) => i,
             Err(i) => i.saturating_sub(1),
         }

@@ -59,11 +59,18 @@ impl Archetype {
     }
 
     /// Stable small integer identifier (used in [`crate::ShuffleJob::archetype`]).
+    /// Matches the position in [`Archetype::all`] (asserted by a test).
     pub fn index(&self) -> u8 {
-        Archetype::all()
-            .iter()
-            .position(|a| a == self)
-            .expect("archetype present in all()") as u8
+        match self {
+            Archetype::LogProcessing => 0,
+            Archetype::QueryJoin => 1,
+            Archetype::Streaming => 2,
+            Archetype::MlDataPrep => 3,
+            Archetype::VideoProcessing => 4,
+            Archetype::Simulation => 5,
+            Archetype::MlCheckpoint => 6,
+            Archetype::CompressUpload => 7,
+        }
     }
 
     /// Look up an archetype by its [`Archetype::index`].

@@ -17,7 +17,7 @@ use crate::metadata::PipelineMetadata;
 use crate::trace::Trace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Assumed sustainable operations per second of one standard HDD, used only
 /// to scale the *historical TCIO feature*; the authoritative TCIO computation
@@ -116,7 +116,7 @@ impl TraceGenerator {
         }
         assert!(!pipelines.is_empty(), "cluster spec produced no pipelines");
 
-        let mut history: HashMap<usize, PipelineHistory> = HashMap::new();
+        let mut history: BTreeMap<usize, PipelineHistory> = BTreeMap::new();
         let mut jobs: Vec<ShuffleJob> = Vec::new();
         let mut next_id: u64 = 0;
 
@@ -201,7 +201,7 @@ impl TraceGenerator {
             }
         }
 
-        jobs.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite arrivals"));
+        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
         // Re-assign IDs in arrival order so IDs are monotone in time.
         for (i, j) in jobs.iter_mut().enumerate() {
             j.id = JobId(i as u64);
@@ -245,7 +245,7 @@ impl TraceGenerator {
         spec: &ClusterSpec,
         pipeline: &Pipeline,
         params: &ArchetypeParams,
-        history: &mut HashMap<usize, PipelineHistory>,
+        history: &mut BTreeMap<usize, PipelineHistory>,
         pipeline_idx: usize,
         shuffle_idx: u32,
         arrival: f64,
@@ -395,7 +395,7 @@ mod tests {
         // Figure 1 of the paper: workloads differ by orders of magnitude.
         let spec = ClusterSpec::balanced(0);
         let trace = TraceGenerator::new(6).generate(&spec, 43_200.0);
-        let mut by_archetype: HashMap<u8, Vec<f64>> = HashMap::new();
+        let mut by_archetype: BTreeMap<u8, Vec<f64>> = BTreeMap::new();
         for j in trace.jobs() {
             by_archetype
                 .entry(j.archetype)

@@ -24,6 +24,7 @@
 //! assert!(trace.jobs().windows(2).all(|w| w[0].arrival <= w[1].arrival));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

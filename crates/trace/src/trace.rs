@@ -15,11 +15,7 @@ pub struct Trace {
 impl Trace {
     /// Build a trace from a list of jobs. Jobs are sorted by arrival time.
     pub fn new(mut jobs: Vec<ShuffleJob>) -> Self {
-        jobs.sort_by(|a, b| {
-            a.arrival
-                .partial_cmp(&b.arrival)
-                .expect("job arrival times must be comparable (not NaN)")
-        });
+        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
         Trace { jobs }
     }
 
@@ -70,8 +66,7 @@ impl Trace {
             events.push((j.end(), -(j.size_bytes as i64)));
         }
         events.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("finite times")
+            a.0.total_cmp(&b.0)
                 // Process departures before arrivals at identical timestamps so
                 // instantaneous swaps do not double count.
                 .then(a.1.cmp(&b.1))
@@ -169,8 +164,7 @@ impl IntoIterator for Trace {
 impl Extend<ShuffleJob> for Trace {
     fn extend<T: IntoIterator<Item = ShuffleJob>>(&mut self, iter: T) {
         self.jobs.extend(iter);
-        self.jobs
-            .sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite arrivals"));
+        self.jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
     }
 }
 

@@ -89,6 +89,7 @@
 //! `cargo bench -p byom_bench --bench parallel` reports the wall-clock
 //! speedup of both levels on the current machine.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use byom_core as core;
