@@ -24,7 +24,10 @@ fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator_replay");
     group.throughput(Throughput::Elements(trace.len() as u64));
     for quota in [0.01f64, 0.2] {
-        let sim = Simulator::new(SimConfig::from_quota_fraction(&trace, quota), cost_model);
+        let sim = Simulator::new(
+            SimConfig::try_from_quota_fraction(&trace, quota).expect("valid quota fraction"),
+            cost_model,
+        );
         group.bench_function(format!("first_fit_quota_{quota}"), |b| {
             b.iter(|| {
                 let mut policy = FirstFit::new();

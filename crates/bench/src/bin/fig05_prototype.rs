@@ -48,7 +48,7 @@ fn main() {
 
     for quota in [0.01, 0.20] {
         let sim = Simulator::new(
-            SimConfig::from_quota_fraction(&prototype, quota),
+            SimConfig::try_from_quota_fraction(&prototype, quota).expect("valid quota fraction"),
             ctx.cost_model,
         );
         let mut first_fit = FirstFit::new();

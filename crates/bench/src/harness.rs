@@ -126,7 +126,8 @@ impl ExperimentContext {
     /// space usage).
     pub fn simulator(&self, quota_fraction: f64) -> Simulator {
         Simulator::new(
-            SimConfig::from_quota_fraction(&self.test, quota_fraction),
+            SimConfig::try_from_quota_fraction(&self.test, quota_fraction)
+                .expect("valid quota fraction"),
             self.cost_model,
         )
     }

@@ -14,8 +14,10 @@
 
 pub mod harness;
 pub mod report;
+pub mod resilience;
 
 pub use harness::{
     run_clusters_parallel, run_quotas_parallel, ExperimentContext, ExperimentParams, MethodResult,
 };
 pub use report::{print_table, Table};
+pub use resilience::{run_resilience_sweep, ResiliencePoint, ResilienceSweep};

@@ -1,0 +1,165 @@
+//! Trace-surface fault injection: drops, duplicates, metadata corruption,
+//! and blanked feature columns.
+
+use crate::plan::FaultPlan;
+use crate::{mix, salt};
+use byom_trace::{FeatureGroup, JobId, Trace};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Counts of trace faults actually injected by [`apply_trace_faults`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceFaultCounts {
+    /// Jobs removed from the trace.
+    pub jobs_dropped: u64,
+    /// Jobs re-submitted with a fresh id.
+    pub jobs_duplicated: u64,
+    /// Jobs whose size/lifetime metadata was corrupted.
+    pub jobs_corrupted: u64,
+    /// Jobs that lost a feature group.
+    pub features_blanked: u64,
+}
+
+/// Apply the plan's trace faults to a trace, returning the perturbed trace
+/// and the realized fault counts.
+///
+/// Every per-job decision draws from an RNG seeded by
+/// `mix(plan.seed, job.id, TRACE_SALT)`, so the perturbation is a pure
+/// function of the plan and the job identities — independent of trace order
+/// and bit-reproducible across runs. A fault-free plan returns the input
+/// unchanged.
+pub fn apply_trace_faults(trace: Trace, plan: &FaultPlan) -> (Trace, TraceFaultCounts) {
+    let faults = plan.trace;
+    let mut counts = TraceFaultCounts::default();
+    if faults.is_fault_free() {
+        return (trace, counts);
+    }
+
+    // Duplicates get ids above anything in the input so their own fault
+    // streams (model, device) never collide with an original job's.
+    let mut next_id = trace.max_job_id() + 1;
+    let perturbed = trace.perturb(|job, out| {
+        let mut rng = StdRng::seed_from_u64(mix(plan.seed, job.id.0, salt::TRACE));
+        if faults.drop_probability > 0.0 && rng.gen_bool(faults.drop_probability) {
+            counts.jobs_dropped += 1;
+            return;
+        }
+        let duplicate =
+            faults.duplicate_probability > 0.0 && rng.gen_bool(faults.duplicate_probability);
+        let mut job = job;
+        if faults.corrupt_probability > 0.0 && rng.gen_bool(faults.corrupt_probability) {
+            let size_factor: f64 = rng.gen_range(0.5..2.0);
+            let lifetime_factor: f64 = rng.gen_range(0.5..2.0);
+            job.size_bytes = ((job.size_bytes as f64 * size_factor) as u64).max(1);
+            job.lifetime = (job.lifetime * lifetime_factor).max(1.0);
+            counts.jobs_corrupted += 1;
+        }
+        if faults.feature_blank_probability > 0.0 && rng.gen_bool(faults.feature_blank_probability)
+        {
+            let group = match rng.gen_range(0..4u32) {
+                0 => FeatureGroup::HistoricalSystemMetrics,
+                1 => FeatureGroup::ExecutionMetadata,
+                2 => FeatureGroup::AllocatedResources,
+                _ => FeatureGroup::JobTimestamp,
+            };
+            job.features.clear_group(group);
+            counts.features_blanked += 1;
+        }
+        if duplicate {
+            let mut twin = job.clone();
+            twin.id = JobId(next_id);
+            next_id += 1;
+            twin.arrival += rng.gen_range(1.0..60.0);
+            counts.jobs_duplicated += 1;
+            out.push(job);
+            out.push(twin);
+        } else {
+            out.push(job);
+        }
+    });
+    (perturbed, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byom_trace::{ClusterSpec, TraceGenerator};
+
+    fn trace() -> Trace {
+        TraceGenerator::new(11).generate(&ClusterSpec::balanced(0), 4.0 * 3_600.0)
+    }
+
+    #[test]
+    fn zero_fault_plan_returns_the_trace_unchanged() {
+        let t = trace();
+        let (out, counts) = apply_trace_faults(t.clone(), &FaultPlan::none(42));
+        assert_eq!(out, t);
+        assert_eq!(counts, TraceFaultCounts::default());
+    }
+
+    #[test]
+    fn faults_are_deterministic_for_a_seed() {
+        let plan = FaultPlan::at_intensity(42, 0.8);
+        let (a, ca) = apply_trace_faults(trace(), &plan);
+        let (b, cb) = apply_trace_faults(trace(), &plan);
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+        let (c, cc) = apply_trace_faults(trace(), &FaultPlan::at_intensity(43, 0.8));
+        assert!(c != a || cc != ca, "a different seed perturbs differently");
+    }
+
+    #[test]
+    fn counts_reflect_realized_faults_and_sizes_add_up() {
+        let t = trace();
+        let plan = FaultPlan::at_intensity(42, 1.0);
+        let (out, counts) = apply_trace_faults(t.clone(), &plan);
+        assert!(counts.jobs_dropped > 0);
+        assert!(counts.jobs_duplicated > 0);
+        assert!(counts.jobs_corrupted > 0);
+        assert!(counts.features_blanked > 0);
+        let expected = t.len() as i64 - counts.jobs_dropped as i64 + counts.jobs_duplicated as i64;
+        assert_eq!(out.len() as i64, expected);
+    }
+
+    #[test]
+    fn duplicates_get_fresh_ids_and_later_arrivals() {
+        let t = trace();
+        let max_id = t.max_job_id();
+        let plan = FaultPlan {
+            trace: crate::plan::TraceFaults {
+                duplicate_probability: 0.5,
+                ..Default::default()
+            },
+            ..FaultPlan::none(9)
+        };
+        let (out, counts) = apply_trace_faults(t.clone(), &plan);
+        assert!(counts.jobs_duplicated > 0);
+        let twins: Vec<_> = out.iter().filter(|j| j.id.0 > max_id).collect();
+        assert_eq!(twins.len() as u64, counts.jobs_duplicated);
+        // Ids are unique across the whole perturbed trace.
+        let mut ids: Vec<u64> = out.iter().map(|j| j.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), out.len());
+    }
+
+    #[test]
+    fn corruption_changes_metadata_but_keeps_identity() {
+        let t = trace();
+        let plan = FaultPlan {
+            trace: crate::plan::TraceFaults {
+                corrupt_probability: 1.0,
+                ..Default::default()
+            },
+            ..FaultPlan::none(5)
+        };
+        let (out, counts) = apply_trace_faults(t.clone(), &plan);
+        assert_eq!(counts.jobs_corrupted, t.len() as u64);
+        assert_eq!(out.len(), t.len());
+        let changed = out
+            .iter()
+            .zip(t.iter())
+            .filter(|(a, b)| a.size_bytes != b.size_bytes)
+            .count();
+        assert!(changed > t.len() / 2, "most sizes should move");
+    }
+}

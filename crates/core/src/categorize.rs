@@ -26,6 +26,15 @@ pub trait Categorizer {
     /// executes.
     fn categorize(&self, job: &ShuffleJob) -> usize;
 
+    /// Predict the category together with the categorizer's confidence in
+    /// `[0, 1]`. Deterministic categorizers (hash, oracle) are fully
+    /// confident; learned models override this with their predicted class
+    /// probability. Fault-injection layers use the confidence to calibrate
+    /// label-flip faults.
+    fn categorize_with_confidence(&self, job: &ShuffleJob) -> (usize, f64) {
+        (self.categorize(job), 1.0)
+    }
+
     /// Number of categories this categorizer produces.
     fn num_categories(&self) -> usize;
 }

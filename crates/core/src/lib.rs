@@ -52,6 +52,7 @@
 pub mod adaptive;
 pub mod categorize;
 pub mod labels;
+pub mod ladder;
 pub mod model;
 pub mod pipeline;
 pub mod policy;
@@ -60,6 +61,10 @@ pub mod registry;
 pub use adaptive::{AdaptiveConfig, AdaptiveSelector, FeedbackSignal};
 pub use categorize::{Categorizer, HashCategorizer, TrueCategoryOracle};
 pub use labels::CategoryLabeler;
+pub use ladder::{
+    FallibleCategorizer, HealthTracker, Infallible, LadderConfig, LadderPolicy, LADDER_RUNGS,
+    RUNG_NAMES,
+};
 pub use model::{CategoryModel, CategoryModelConfig, ModelEvaluation};
 pub use pipeline::{ByomPipeline, ByomPipelineBuilder, TrainedByom};
 pub use policy::AdaptivePolicy;

@@ -214,6 +214,13 @@ impl Categorizer for CategoryModel {
         self.predict_category(&job.features)
     }
 
+    fn categorize_with_confidence(&self, job: &ShuffleJob) -> (usize, f64) {
+        let proba = self.predict_proba(&job.features);
+        let category = argmax(&proba);
+        let confidence = proba.get(category).copied().unwrap_or(0.0);
+        (category, confidence)
+    }
+
     fn num_categories(&self) -> usize {
         self.num_categories
     }

@@ -9,6 +9,7 @@
 use crate::adaptive::AdaptiveConfig;
 use crate::categorize::{HashCategorizer, TrueCategoryOracle};
 use crate::labels::CategoryLabeler;
+use crate::ladder::{FallibleCategorizer, Infallible, LadderConfig, LadderPolicy};
 use crate::model::{CategoryModel, CategoryModelConfig};
 use crate::policy::AdaptivePolicy;
 use byom_cost::CostModel;
@@ -176,6 +177,30 @@ impl TrainedByom {
         )
     }
 
+    /// The graceful-degradation ladder with the trained model as its top
+    /// rung: model → hash → heuristic → first-fit, with default demotion and
+    /// probing settings (see [`LadderConfig`]).
+    pub fn ladder_policy(&self) -> LadderPolicy<Infallible<CategoryModel>> {
+        self.ladder_policy_with(
+            Infallible(self.model.clone()),
+            LadderConfig {
+                adaptive: self.adaptive,
+                ..LadderConfig::default()
+            },
+        )
+    }
+
+    /// The graceful-degradation ladder with a caller-supplied (possibly
+    /// fallible) model rung — fault-injection layers wrap the trained model
+    /// and hand the wrapper in here.
+    pub fn ladder_policy_with<M: FallibleCategorizer>(
+        &self,
+        model: M,
+        config: LadderConfig,
+    ) -> LadderPolicy<M> {
+        LadderPolicy::new(model, config)
+    }
+
     /// The fitted category labeler.
     pub fn labeler(&self) -> &CategoryLabeler {
         &self.labeler
@@ -246,6 +271,16 @@ mod tests {
     }
 
     #[test]
+    fn mints_a_ladder_policy_starting_at_the_model_rung() {
+        let train = TraceGenerator::new(64).generate(&ClusterSpec::balanced(0), 8.0 * 3600.0);
+        let trained = quick_pipeline().train(&train, &cost_model()).unwrap();
+        let ladder = trained.ladder_policy();
+        assert_eq!(ladder.name(), "Ladder Ranking");
+        assert_eq!(ladder.health().active_rung(), 0);
+        assert_eq!(ladder.rung_occupancy(), [0; crate::ladder::LADDER_RUNGS]);
+    }
+
+    #[test]
     fn empty_training_trace_is_an_error() {
         let err = quick_pipeline().train(&Trace::default(), &cost_model());
         assert!(err.is_err());
@@ -267,7 +302,10 @@ mod tests {
             .train(&train, &cm)
             .unwrap();
 
-        let sim = Simulator::new(SimConfig::from_quota_fraction(&test, 0.01), cm);
+        let sim = Simulator::new(
+            SimConfig::try_from_quota_fraction(&test, 0.01).expect("valid quota fraction"),
+            cm,
+        );
         let ranking = sim.run(&test, &mut trained.adaptive_ranking_policy());
         let hash = sim.run(&test, &mut trained.adaptive_hash_policy());
         assert!(

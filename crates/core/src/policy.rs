@@ -96,7 +96,10 @@ mod tests {
     fn adaptive_hash_policy_runs_end_to_end() {
         let trace = TraceGenerator::new(51).generate(&ClusterSpec::balanced(0), 6.0 * 3600.0);
         let model = CostModel::new(CostRates::default());
-        let sim = Simulator::new(SimConfig::from_quota_fraction(&trace, 0.05), model);
+        let sim = Simulator::new(
+            SimConfig::try_from_quota_fraction(&trace, 0.05).expect("valid quota fraction"),
+            model,
+        );
         let mut policy = AdaptivePolicy::new(HashCategorizer::new(15), config());
         assert_eq!(policy.name(), "Adaptive Hash");
         let result = sim.run(&trace, &mut policy);
@@ -124,7 +127,10 @@ mod tests {
         }
         let trace = TraceGenerator::new(52).generate(&ClusterSpec::balanced(0), 3_600.0);
         let model = CostModel::new(CostRates::default());
-        let sim = Simulator::new(SimConfig::from_quota_fraction(&trace, 0.5), model);
+        let sim = Simulator::new(
+            SimConfig::try_from_quota_fraction(&trace, 0.5).expect("valid quota fraction"),
+            model,
+        );
         let mut policy = AdaptivePolicy::new(AlwaysZero, config());
         let result = sim.run(&trace, &mut policy);
         assert_eq!(result.jobs_scheduled_to_ssd(), 0);
@@ -136,7 +142,10 @@ mod tests {
         let trace = TraceGenerator::new(53).generate(&ClusterSpec::balanced(0), 12.0 * 3600.0);
         let model = CostModel::new(CostRates::default());
         // Quota of 0.1% of peak: heavy spillover expected.
-        let sim = Simulator::new(SimConfig::from_quota_fraction(&trace, 0.001), model);
+        let sim = Simulator::new(
+            SimConfig::try_from_quota_fraction(&trace, 0.001).expect("valid quota fraction"),
+            model,
+        );
         let mut policy = AdaptivePolicy::new(HashCategorizer::new(15), config());
         let _ = sim.run(&trace, &mut policy);
         let max_act = policy

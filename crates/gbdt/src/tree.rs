@@ -153,9 +153,12 @@ impl Tree {
 
     /// Recursively build the subtree for `rows`, returning the node index.
     fn build_node(&mut self, ctx: &FitContext<'_>, rows: &mut [usize], depth: usize) -> usize {
-        let (g_sum, h_sum) = rows
-            .iter()
-            .fold((0.0, 0.0), |(g, h), &i| (g + ctx.grad[i], h + ctx.hess[i]));
+        let (g_sum, h_sum) = rows.iter().fold((0.0, 0.0), |(g, h), &i| {
+            (
+                g + ctx.grad.get(i).copied().unwrap_or(0.0),
+                h + ctx.hess.get(i).copied().unwrap_or(0.0),
+            )
+        });
         let leaf_value = -g_sum / (h_sum + ctx.params.l2_lambda);
 
         let node_idx = self.nodes.len();
@@ -176,11 +179,18 @@ impl Tree {
             return node_idx;
         };
 
-        // Partition rows in place: left = bin <= best.bin.
+        // Partition rows in place: left = bin <= best.bin. The exact swap
+        // permutation is part of the determinism contract (row order feeds
+        // the children's float accumulations), so this stays a swap loop.
         let threshold = ctx.mapper.edge(best.feature, best.bin);
         let mut split_point = 0;
         for i in 0..rows.len() {
-            let bin = ctx.binned[rows[i] * ctx.num_features + best.feature] as usize;
+            let row = rows.get(i).copied().unwrap_or(0);
+            let bin = ctx
+                .binned
+                .get(row * ctx.num_features + best.feature)
+                .copied()
+                .unwrap_or(0) as usize;
             if bin <= best.bin {
                 rows.swap(i, split_point);
                 split_point += 1;
@@ -198,12 +208,13 @@ impl Tree {
         let left_idx = self.build_node(ctx, left_rows, depth + 1);
         let right_idx = self.build_node(ctx, right_rows, depth + 1);
 
-        let node = &mut self.nodes[node_idx];
-        node.feature = best.feature as u32;
-        node.threshold = threshold;
-        node.left = left_idx as i32;
-        node.right = right_idx as i32;
-        node.gain = best.gain;
+        if let Some(node) = self.nodes.get_mut(node_idx) {
+            node.feature = best.feature as u32;
+            node.threshold = threshold;
+            node.left = left_idx as i32;
+            node.right = right_idx as i32;
+            node.gain = best.gain;
+        }
         node_idx
     }
 
@@ -274,10 +285,11 @@ impl Tree {
         let mut g_left = 0.0;
         let mut h_left = 0.0;
         let mut c_left = 0usize;
-        for b in 0..num_bins - 1 {
-            g_left += g_hist[b];
-            h_left += h_hist[b];
-            c_left += c_hist[b];
+        let bins = g_hist.iter().zip(&h_hist).zip(&c_hist).enumerate();
+        for (b, ((&g_bin, &h_bin), &c_bin)) in bins.take(num_bins - 1) {
+            g_left += g_bin;
+            h_left += h_bin;
+            c_left += c_bin;
             let c_right = rows.len() - c_left;
             if c_left < ctx.params.min_samples_leaf || c_right < ctx.params.min_samples_leaf {
                 continue;
@@ -332,11 +344,12 @@ impl Tree {
     /// Maximum depth of the fitted tree (root = 0; empty tree = 0).
     pub fn depth(&self) -> usize {
         fn depth_of(nodes: &[Node], idx: usize) -> usize {
-            let n = &nodes[idx];
-            if n.is_leaf() {
-                0
-            } else {
-                1 + depth_of(nodes, n.left as usize).max(depth_of(nodes, n.right as usize))
+            match nodes.get(idx) {
+                None => 0,
+                Some(n) if n.is_leaf() => 0,
+                Some(n) => {
+                    1 + depth_of(nodes, n.left as usize).max(depth_of(nodes, n.right as usize))
+                }
             }
         }
         if self.nodes.is_empty() {
@@ -351,14 +364,15 @@ impl Tree {
         &self.nodes
     }
 
-    /// Accumulate this tree's split gains into `out[feature]`.
-    ///
-    /// # Panics
-    /// Panics if `out` is shorter than the largest feature index used.
+    /// Accumulate this tree's split gains into `out[feature]`. Features
+    /// beyond `out.len()` are ignored; size `out` to the model's feature
+    /// count to capture every gain.
     pub fn accumulate_gains(&self, out: &mut [f64]) {
         for n in &self.nodes {
             if !n.is_leaf() {
-                out[n.feature as usize] += n.gain;
+                if let Some(slot) = out.get_mut(n.feature as usize) {
+                    *slot += n.gain;
+                }
             }
         }
     }

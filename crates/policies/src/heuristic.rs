@@ -81,6 +81,34 @@ impl CategoryHeuristic {
         self.stats.len()
     }
 
+    /// Fold one job's measured cost into the category statistics and
+    /// periodically rebuild the admission set. [`PlacementPolicy::place`]
+    /// calls this on every arrival; composite policies (the degradation
+    /// ladder in `byom_core`) call it directly to keep the heuristic warm
+    /// while another rung is making the decisions.
+    pub fn record(&mut self, job: &ShuffleJob, cost: &JobCost, capacity_bytes: u64) {
+        // Update historical statistics. In production these measurements come
+        // from completed executions; here the arriving job's measured cost
+        // stands in for the category's history from the next job onward.
+        let category = Self::category_of(job);
+        let entry = self.stats.entry(category).or_default();
+        entry.total_savings += cost.tco_savings();
+        entry.observations += 1;
+        let n = entry.observations as f64;
+        entry.mean_space += (job.size_bytes as f64 - entry.mean_space) / n;
+
+        self.jobs_since_rebuild += 1;
+        if self.admitted.is_empty() || self.jobs_since_rebuild >= self.config.rebuild_every_jobs {
+            self.rebuild_admission_set(capacity_bytes);
+            self.jobs_since_rebuild = 0;
+        }
+    }
+
+    /// Whether the job's category is in the current admission set.
+    pub fn admits(&self, job: &ShuffleJob) -> bool {
+        self.admitted.contains(&Self::category_of(job))
+    }
+
     fn rebuild_admission_set(&mut self, capacity_bytes: u64) {
         let mut ranked: Vec<(&String, &CategoryStats)> = self
             .stats
@@ -114,23 +142,8 @@ impl PlacementPolicy for CategoryHeuristic {
     }
 
     fn place(&mut self, job: &ShuffleJob, cost: &JobCost, state: &SystemState) -> Device {
-        let category = Self::category_of(job);
-        // Update historical statistics. In production these measurements come
-        // from completed executions; here the arriving job's measured cost
-        // stands in for the category's history from the next job onward.
-        let entry = self.stats.entry(category.clone()).or_default();
-        entry.total_savings += cost.tco_savings();
-        entry.observations += 1;
-        let n = entry.observations as f64;
-        entry.mean_space += (job.size_bytes as f64 - entry.mean_space) / n;
-
-        self.jobs_since_rebuild += 1;
-        if self.admitted.is_empty() || self.jobs_since_rebuild >= self.config.rebuild_every_jobs {
-            self.rebuild_admission_set(state.ssd_capacity_bytes);
-            self.jobs_since_rebuild = 0;
-        }
-
-        if self.admitted.contains(&category) {
+        self.record(job, cost, state.ssd_capacity_bytes);
+        if self.admits(job) {
             Device::Ssd
         } else {
             Device::Hdd

@@ -1,0 +1,65 @@
+//! The device-behavior hook: how the simulated SSD's capacity and admission
+//! path behave over (simulated) time.
+//!
+//! The default device, [`IdealDevice`], is the happy path the simulator has
+//! always modelled: a constant capacity and an admission path that never
+//! fails. Fault-injection layers (see the `byom_chaos` crate) implement
+//! [`DeviceModel`] to introduce capacity step-downs/recoveries and transient
+//! admission failures — deterministically, as a pure function of the plan
+//! seed and simulated time.
+
+use crate::result::ResilienceReport;
+use byom_trace::ShuffleJob;
+
+/// Deterministic device behavior observed by the simulator.
+///
+/// All methods are driven by *simulated* time (`now` is the arriving job's
+/// arrival time); implementations must not consult wall clocks or unseeded
+/// randomness.
+pub trait DeviceModel {
+    /// Effective SSD capacity at `now`, given the configured base capacity.
+    ///
+    /// The default is the base capacity (no step-downs). When the returned
+    /// capacity drops below current occupancy, residents are *not* evicted;
+    /// new admissions simply find no free space until occupancy drains.
+    fn capacity_at(&mut self, now: f64, base_capacity_bytes: u64) -> u64 {
+        let _ = now;
+        base_capacity_bytes
+    }
+
+    /// Whether the device accepts a new SSD admission for `job` at `now`.
+    ///
+    /// Returning `false` models a transient admission failure: the job is
+    /// recorded as scheduled-to-SSD but fully spilled (the policy's feedback
+    /// loop sees the miss). The default always accepts.
+    fn try_admit(&mut self, now: f64, job: &ShuffleJob) -> bool {
+        let _ = (now, job);
+        true
+    }
+
+    /// Record device-level fault counts into the run's resilience report.
+    /// The default (no faults) leaves the report untouched.
+    fn fill_report(&self, report: &mut ResilienceReport) {
+        let _ = report;
+    }
+}
+
+/// The fault-free device: constant capacity, admissions never fail.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdealDevice;
+
+impl DeviceModel for IdealDevice {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_device_is_transparent() {
+        let mut d = IdealDevice;
+        assert_eq!(d.capacity_at(123.0, 42), 42);
+        let mut report = ResilienceReport::default();
+        d.fill_report(&mut report);
+        assert_eq!(report, ResilienceReport::default());
+    }
+}

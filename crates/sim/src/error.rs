@@ -1,0 +1,43 @@
+//! Typed simulator errors.
+
+use std::fmt;
+
+/// Errors produced while configuring or driving the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A quota fraction passed to
+    /// [`SimConfig::try_from_quota_fraction`](crate::SimConfig::try_from_quota_fraction)
+    /// was negative, NaN, or infinite.
+    InvalidQuota {
+        /// The offending fraction.
+        fraction: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidQuota { fraction } => {
+                write!(
+                    f,
+                    "quota fraction must be finite and non-negative, got {fraction}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_offending_value() {
+        let e = SimError::InvalidQuota { fraction: -0.5 };
+        let msg = e.to_string();
+        assert!(msg.contains("quota fraction"), "got {msg}");
+        assert!(msg.contains("-0.5"), "got {msg}");
+    }
+}

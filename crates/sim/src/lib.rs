@@ -34,12 +34,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod device;
+pub mod error;
 pub mod policy;
 pub mod result;
 pub mod runtime;
 pub mod simulator;
 
+pub use device::{DeviceModel, IdealDevice};
+pub use error::SimError;
 pub use policy::{Device, JobOutcome, PlacementPolicy, SystemState};
-pub use result::SimulationResult;
+pub use result::{ResilienceReport, SimulationResult};
 pub use runtime::application_runtime_savings_percent;
 pub use simulator::{SimConfig, Simulator};

@@ -1,6 +1,7 @@
 //! The placement-policy interface and the outcome/feedback types shared
 //! between the simulator and policies.
 
+use crate::result::ResilienceReport;
 use byom_cost::JobCost;
 use byom_trace::{JobId, ShuffleJob};
 use serde::{Deserialize, Serialize};
@@ -114,6 +115,14 @@ pub trait PlacementPolicy {
     /// Observe the realized outcome of a previously placed job. Default: no-op.
     fn observe(&mut self, outcome: &JobOutcome) {
         let _ = outcome;
+    }
+
+    /// Contribute policy-side degradation accounting (e.g. the ladder's
+    /// per-rung occupancy) to the run's resilience report. The simulator
+    /// calls this once at the end of every run. Default: no-op, so plain
+    /// policies keep the all-zero report.
+    fn fill_resilience(&self, report: &mut ResilienceReport) {
+        let _ = report;
     }
 }
 

@@ -6,6 +6,58 @@ use crate::policy::{Device, JobOutcome};
 use byom_cost::{JobCost, SavingsSummary};
 use serde::{Deserialize, Serialize};
 
+/// Fault and degradation accounting for one simulator run.
+///
+/// A fault-free run of a plain policy carries the all-zero default report,
+/// so results from unfaulted runs are byte-identical with and without a
+/// zero-fault plan. Trace- and model-level counts are merged in by the
+/// fault-injection layer (`byom_chaos`); device-level counts come from the
+/// [`DeviceModel`](crate::device::DeviceModel) driving the run; degradation
+/// policies contribute their rung occupancy through
+/// [`PlacementPolicy::fill_resilience`](crate::policy::PlacementPolicy::fill_resilience).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResilienceReport {
+    /// Jobs removed from the trace by drop faults.
+    pub jobs_dropped: u64,
+    /// Jobs re-submitted by duplication faults.
+    pub jobs_duplicated: u64,
+    /// Jobs whose size/lifetime metadata was corrupted.
+    pub jobs_corrupted: u64,
+    /// Jobs whose feature columns were blanked.
+    pub features_blanked: u64,
+    /// Placement decisions made while the model was blacked out.
+    pub model_blackouts: u64,
+    /// Model predictions flipped to a wrong category.
+    pub labels_flipped: u64,
+    /// SSD capacity step-down/recovery transitions observed.
+    pub capacity_steps: u64,
+    /// Distinct transient admission outages triggered.
+    pub admission_outages: u64,
+    /// SSD admissions rejected while the device was unavailable.
+    pub admission_failures: u64,
+    /// Placement decisions made by each rung of the degradation ladder
+    /// (model, hash, heuristic, first-fit). Empty for non-ladder policies.
+    pub fallback_occupancy: Vec<u64>,
+    /// TCO-savings delta (percentage points) of this run versus its
+    /// unfaulted twin run. Zero when no twin was computed or no savings were
+    /// lost.
+    pub savings_delta_percent: f64,
+}
+
+impl ResilienceReport {
+    /// Total faults injected across the trace, model, and device surfaces.
+    pub fn faults_injected(&self) -> u64 {
+        self.jobs_dropped
+            + self.jobs_duplicated
+            + self.jobs_corrupted
+            + self.features_blanked
+            + self.model_blackouts
+            + self.labels_flipped
+            + self.capacity_steps
+            + self.admission_failures
+    }
+}
+
 /// The output of one simulator run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationResult {
@@ -21,6 +73,8 @@ pub struct SimulationResult {
     pub savings: SavingsSummary,
     /// Peak SSD occupancy observed during the run.
     pub peak_ssd_occupancy_bytes: u64,
+    /// Fault and degradation accounting (all-zero for fault-free runs).
+    pub resilience: ResilienceReport,
 }
 
 impl SimulationResult {
@@ -112,6 +166,7 @@ mod tests {
             costs,
             savings: SavingsSummary::default(),
             peak_ssd_occupancy_bytes: 0,
+            resilience: ResilienceReport::default(),
         }
     }
 
@@ -130,6 +185,25 @@ mod tests {
     fn spillover_percent_zero_when_nothing_scheduled() {
         let r = result(vec![outcome(0, Device::Hdd, 0.0)]);
         assert_eq!(r.spillover_tcio_percent(), 0.0);
+    }
+
+    #[test]
+    fn resilience_report_sums_fault_counts() {
+        let report = ResilienceReport {
+            jobs_dropped: 1,
+            jobs_duplicated: 2,
+            jobs_corrupted: 3,
+            features_blanked: 4,
+            model_blackouts: 5,
+            labels_flipped: 6,
+            capacity_steps: 7,
+            admission_outages: 100, // outages are not themselves fault events
+            admission_failures: 8,
+            fallback_occupancy: vec![1, 2, 3, 4],
+            savings_delta_percent: -1.5,
+        };
+        assert_eq!(report.faults_injected(), 36);
+        assert_eq!(ResilienceReport::default().faults_injected(), 0);
     }
 
     #[test]

@@ -74,6 +74,7 @@ mod tests {
             }],
             savings: SavingsSummary::default(),
             peak_ssd_occupancy_bytes: 0,
+            resilience: crate::result::ResilienceReport::default(),
         }
     }
 
@@ -113,6 +114,7 @@ mod tests {
             costs: vec![],
             savings: SavingsSummary::default(),
             peak_ssd_occupancy_bytes: 0,
+            resilience: crate::result::ResilienceReport::default(),
         };
         assert_eq!(application_runtime_savings_percent(&r), 0.0);
     }

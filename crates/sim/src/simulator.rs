@@ -1,6 +1,8 @@
 //! The tiering simulator: replays a trace against a placement policy under a
 //! fixed SSD quota, resolving capacity and spillover.
 
+use crate::device::{DeviceModel, IdealDevice};
+use crate::error::SimError;
 use crate::policy::{Device, JobOutcome, PlacementPolicy, SystemState};
 use crate::result::SimulationResult;
 use byom_cost::{savings_summary, CostModel, Placement};
@@ -21,16 +23,16 @@ impl SimConfig {
     /// Convenience constructor: a quota expressed as a fraction of a trace's
     /// peak space usage.
     ///
-    /// # Panics
-    /// Panics if `fraction` is negative or not finite.
-    pub fn from_quota_fraction(trace: &Trace, fraction: f64) -> Self {
-        assert!(
-            fraction.is_finite() && fraction >= 0.0,
-            "quota fraction must be finite and non-negative"
-        );
-        SimConfig {
-            ssd_capacity_bytes: (trace.peak_space_usage() as f64 * fraction) as u64,
+    /// # Errors
+    /// Returns [`SimError::InvalidQuota`] if `fraction` is negative, NaN, or
+    /// infinite.
+    pub fn try_from_quota_fraction(trace: &Trace, fraction: f64) -> Result<Self, SimError> {
+        if !fraction.is_finite() || fraction < 0.0 {
+            return Err(SimError::InvalidQuota { fraction });
         }
+        Ok(SimConfig {
+            ssd_capacity_bytes: (trace.peak_space_usage() as f64 * fraction) as u64,
+        })
     }
 }
 
@@ -86,8 +88,29 @@ impl Simulator {
         trace: &Trace,
         policy: &mut P,
     ) -> SimulationResult {
+        self.run_with_device(trace, policy, &mut IdealDevice)
+    }
+
+    /// Like [`Simulator::run`], but with an explicit [`DeviceModel`] driving
+    /// the SSD's effective capacity and admission path over simulated time.
+    ///
+    /// With [`IdealDevice`] this is exactly [`Simulator::run`]; fault models
+    /// (see `byom_chaos`) introduce capacity step-downs and transient
+    /// admission failures here. An admission rejected by the device is
+    /// recorded as a fully spilled SSD-scheduled job, so adaptive policies
+    /// observe the miss through their normal spillover feedback.
+    pub fn run_with_device<P, D>(
+        &self,
+        trace: &Trace,
+        policy: &mut P,
+        device: &mut D,
+    ) -> SimulationResult
+    where
+        P: PlacementPolicy + ?Sized,
+        D: DeviceModel + ?Sized,
+    {
         let costs = self.cost_model.cost_trace(trace);
-        let capacity = self.config.ssd_capacity_bytes;
+        let base_capacity = self.config.ssd_capacity_bytes;
 
         // Min-heap of SSD residents by end time.
         let mut residents: BinaryHeap<Reverse<Resident>> = BinaryHeap::new();
@@ -109,6 +132,7 @@ impl Simulator {
                 }
             }
 
+            let capacity = device.capacity_at(now, base_capacity);
             let state = SystemState {
                 now,
                 ssd_occupancy_bytes: occupancy,
@@ -118,6 +142,11 @@ impl Simulator {
 
             let (ssd_fraction, spillover_time) = match decision {
                 Device::Hdd => (0.0, None),
+                Device::Ssd if !device.try_admit(now, job) => {
+                    // Transient admission failure: scheduled to SSD but
+                    // nothing placed — a full spill from arrival.
+                    (0.0, Some(now))
+                }
                 Device::Ssd => {
                     let free = capacity.saturating_sub(occupancy);
                     let placed = free.min(job.size_bytes);
@@ -155,14 +184,18 @@ impl Simulator {
         }
 
         let savings = savings_summary(&costs, &placements);
-        SimulationResult {
+        let mut result = SimulationResult {
             policy_name: policy.name().to_string(),
-            ssd_capacity_bytes: capacity,
+            ssd_capacity_bytes: base_capacity,
             outcomes,
             costs,
             savings,
             peak_ssd_occupancy_bytes: peak_occupancy,
-        }
+            resilience: Default::default(),
+        };
+        device.fill_report(&mut result.resilience);
+        policy.fill_resilience(&mut result.resilience);
+        result
     }
 }
 
@@ -223,7 +256,7 @@ mod tests {
     #[test]
     fn all_hdd_policy_yields_zero_savings() {
         let trace = TraceGenerator::new(1).generate(&ClusterSpec::balanced(0), 3_600.0);
-        let config = SimConfig::from_quota_fraction(&trace, 0.1);
+        let config = SimConfig::try_from_quota_fraction(&trace, 0.1).unwrap();
         let result = Simulator::new(config, model()).run(&trace, &mut AlwaysHdd);
         assert_eq!(result.savings.tco_savings_percent(), 0.0);
         assert_eq!(result.savings.tcio_savings_percent(), 0.0);
@@ -234,7 +267,7 @@ mod tests {
     #[test]
     fn occupancy_never_exceeds_capacity() {
         let trace = TraceGenerator::new(2).generate(&ClusterSpec::balanced(0), 7_200.0);
-        let config = SimConfig::from_quota_fraction(&trace, 0.05);
+        let config = SimConfig::try_from_quota_fraction(&trace, 0.05).unwrap();
         let result = Simulator::new(config, model()).run(&trace, &mut AlwaysSsd);
         assert!(result.peak_ssd_occupancy_bytes <= config.ssd_capacity_bytes);
     }
@@ -322,9 +355,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "quota fraction")]
-    fn negative_quota_fraction_rejected() {
+    fn invalid_quota_fractions_are_typed_errors() {
         let trace = Trace::new(vec![job(0, 0.0, 10.0, 10)]);
-        let _ = SimConfig::from_quota_fraction(&trace, -0.5);
+        for bad in [-0.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = SimConfig::try_from_quota_fraction(&trace, bad);
+            assert!(
+                matches!(err, Err(SimError::InvalidQuota { .. })),
+                "fraction {bad} should be rejected"
+            );
+        }
+        assert!(SimConfig::try_from_quota_fraction(&trace, 0.0).is_ok());
+        assert!(SimConfig::try_from_quota_fraction(&trace, 1.5).is_ok());
+    }
+
+    #[test]
+    fn run_with_ideal_device_matches_run() {
+        let trace = TraceGenerator::new(9).generate(&ClusterSpec::balanced(0), 3_600.0);
+        let config = SimConfig::try_from_quota_fraction(&trace, 0.05).unwrap();
+        let sim = Simulator::new(config, model());
+        let plain = sim.run(&trace, &mut AlwaysSsd);
+        let with_device = sim.run_with_device(&trace, &mut AlwaysSsd, &mut IdealDevice);
+        assert_eq!(plain, with_device);
+        assert_eq!(plain.resilience, Default::default());
     }
 }

@@ -37,20 +37,26 @@ pub fn solve_exact(
 
     let timeline = Timeline::new(jobs);
     // Candidate order: decreasing value density (good for pruning).
-    let mut order: Vec<usize> = (0..jobs.len())
-        .filter(|&i| objective.value(&jobs[i]) > 0.0 && jobs[i].size_bytes > 0)
+    let mut candidates: Vec<(usize, f64, f64)> = jobs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, job)| {
+            let value = objective.value(job);
+            (value > 0.0 && job.size_bytes > 0)
+                .then(|| (i, value, value / job.ssd_byte_seconds().max(1e-9)))
+        })
         .collect();
-    order.sort_by(|&a, &b| {
-        let da = objective.value(&jobs[a]) / jobs[a].ssd_byte_seconds().max(1e-9);
-        let db = objective.value(&jobs[b]) / jobs[b].ssd_byte_seconds().max(1e-9);
-        db.total_cmp(&da)
-    });
+    candidates.sort_by(|a, b| b.2.total_cmp(&a.2));
+    let order: Vec<usize> = candidates.iter().map(|&(i, _, _)| i).collect();
+    let values: Vec<f64> = candidates.iter().map(|&(_, value, _)| value).collect();
     // Suffix sums of values for the upper bound.
-    let values: Vec<f64> = order.iter().map(|&i| objective.value(&jobs[i])).collect();
-    let mut suffix = vec![0.0; values.len() + 1];
-    for i in (0..values.len()).rev() {
-        suffix[i] = suffix[i + 1] + values[i];
+    let mut suffix: Vec<f64> = Vec::with_capacity(values.len() + 1);
+    suffix.push(0.0);
+    for &value in values.iter().rev() {
+        let total = suffix.last().copied().unwrap_or(0.0);
+        suffix.push(total + value);
     }
+    suffix.reverse();
 
     struct Search<'a> {
         jobs: &'a [JobCost],
@@ -70,11 +76,20 @@ pub fn solve_exact(
                 self.best_value = value;
                 self.best_set = self.current_set.clone();
             }
-            if depth == self.order.len() || value + self.suffix[depth] <= self.best_value {
+            let Some(((&job_idx, &gain), &remaining)) = self
+                .order
+                .get(depth)
+                .zip(self.values.get(depth))
+                .zip(self.suffix.get(depth))
+            else {
+                return; // past the last candidate
+            };
+            if value + remaining <= self.best_value {
                 return;
             }
-            let job_idx = self.order[depth];
-            let job = &self.jobs[job_idx];
+            let Some(job) = self.jobs.get(job_idx) else {
+                return; // unreachable: order only holds indices into jobs
+            };
             let (lo, hi) = self.timeline.segment_range(job);
 
             // Branch 1: take the job if it fits.
@@ -82,9 +97,13 @@ pub fn solve_exact(
                 let current = occupancy.range_max(lo, hi).max(0.0);
                 if current + job.size_bytes as f64 <= self.capacity {
                     occupancy.range_add(lo, hi, job.size_bytes as f64);
-                    self.current_set[job_idx] = true;
-                    self.recurse(depth + 1, occupancy, value + self.values[depth]);
-                    self.current_set[job_idx] = false;
+                    if let Some(slot) = self.current_set.get_mut(job_idx) {
+                        *slot = true;
+                    }
+                    self.recurse(depth + 1, occupancy, value + gain);
+                    if let Some(slot) = self.current_set.get_mut(job_idx) {
+                        *slot = false;
+                    }
                     occupancy.range_add(lo, hi, -(job.size_bytes as f64));
                 }
             }
@@ -109,10 +128,10 @@ pub fn solve_exact(
 
     // Recompute peak occupancy of the chosen set.
     let mut occ = SegmentTree::new(timeline.num_segments());
-    for (i, &take) in search.best_set.iter().enumerate() {
+    for (&take, job) in search.best_set.iter().zip(jobs) {
         if take {
-            let (lo, hi) = timeline.segment_range(&jobs[i]);
-            occ.range_add(lo, hi, jobs[i].size_bytes as f64);
+            let (lo, hi) = timeline.segment_range(job);
+            occ.range_add(lo, hi, job.size_bytes as f64);
         }
     }
     OracleSolution {

@@ -166,6 +166,43 @@ impl JobFeatures {
         ]
     }
 
+    /// Blank every feature column belonging to `group`, as when an upstream
+    /// metadata pipeline fails to deliver that group: numeric columns go to
+    /// zero and string columns to the empty string. Fault-injection layers
+    /// use this to model missing feature columns.
+    pub fn clear_group(&mut self, group: FeatureGroup) {
+        match group {
+            FeatureGroup::HistoricalSystemMetrics => {
+                self.average_tcio = 0.0;
+                self.average_size = 0.0;
+                self.average_lifetime = 0.0;
+                self.average_io_density = 0.0;
+            }
+            FeatureGroup::AllocatedResources => {
+                self.bucket_sizing_initial_num_stripes = 0;
+                self.bucket_sizing_num_shards = 0;
+                self.bucket_sizing_num_worker_threads = 0;
+                self.bucket_sizing_num_workers = 0;
+                self.initial_num_buckets = 0;
+                self.num_buckets = 0;
+                self.records_written = 0;
+                self.requested_num_shards = 0;
+            }
+            FeatureGroup::JobTimestamp => {
+                self.open_time_day_hour = 0;
+                self.open_time_seconds = 0;
+                self.open_time_weekday = 0;
+            }
+            FeatureGroup::ExecutionMetadata => {
+                self.build_target_name.clear();
+                self.execution_name.clear();
+                self.pipeline_name.clear();
+                self.step_name.clear();
+                self.user_name.clear();
+            }
+        }
+    }
+
     /// The execution-metadata strings in a stable order:
     /// `[build_target_name, execution_name, pipeline_name, step_name, user_name]`.
     pub fn metadata_strings(&self) -> [&str; 5] {
@@ -229,6 +266,38 @@ mod tests {
         assert_eq!(FeatureGroup::AllocatedResources.label(), "C");
         assert_eq!(FeatureGroup::JobTimestamp.label(), "T");
         assert_eq!(FeatureGroup::all().len(), 4);
+    }
+
+    #[test]
+    fn clear_group_blanks_exactly_that_group() {
+        let full = JobFeatures {
+            average_tcio: 1.0,
+            average_size: 2.0,
+            average_lifetime: 3.0,
+            average_io_density: 4.0,
+            bucket_sizing_num_workers: 5,
+            num_buckets: 6,
+            records_written: 7,
+            open_time_day_hour: 8,
+            open_time_weekday: 2,
+            pipeline_name: "pipe".into(),
+            user_name: "user".into(),
+            ..Default::default()
+        };
+        for group in FeatureGroup::all() {
+            let mut f = full.clone();
+            f.clear_group(group);
+            assert_ne!(f, full, "clearing {group:?} should change something");
+        }
+        let mut f = full.clone();
+        f.clear_group(FeatureGroup::HistoricalSystemMetrics);
+        assert_eq!(f.average_tcio, 0.0);
+        assert_eq!(f.num_buckets, 6, "other groups untouched");
+        f.clear_group(FeatureGroup::ExecutionMetadata);
+        assert!(f.pipeline_name.is_empty());
+        f.clear_group(FeatureGroup::AllocatedResources);
+        f.clear_group(FeatureGroup::JobTimestamp);
+        assert!(f.to_numeric().iter().all(|&x| x == 0.0));
     }
 
     #[test]

@@ -101,6 +101,28 @@ impl Trace {
         }
     }
 
+    /// Largest job id in the trace (0 for an empty trace). Perturbation
+    /// layers use this to mint fresh ids for duplicated jobs.
+    pub fn max_job_id(&self) -> u64 {
+        self.jobs.iter().map(|j| j.id.0).max().unwrap_or(0)
+    }
+
+    /// Rewrite the trace job-by-job: the callback receives each job in
+    /// arrival order and pushes zero or more replacement jobs into `out`
+    /// (push nothing to drop the job, push it twice to duplicate it, or push
+    /// an edited copy to corrupt its metadata). The result is re-sorted by
+    /// arrival, so replacements may move in time.
+    ///
+    /// This is the hook fault-injection layers (`byom_chaos`) use to perturb
+    /// traces without reaching into the container's internals.
+    pub fn perturb<F: FnMut(ShuffleJob, &mut Vec<ShuffleJob>)>(self, mut f: F) -> Trace {
+        let mut out = Vec::with_capacity(self.jobs.len());
+        for job in self.jobs {
+            f(job, &mut out);
+        }
+        Trace::new(out)
+    }
+
     /// Merge several traces into one, re-sorting by arrival.
     pub fn merge<I: IntoIterator<Item = Trace>>(traces: I) -> Trace {
         let jobs: Vec<ShuffleJob> = traces.into_iter().flat_map(|t| t.jobs).collect();
@@ -246,6 +268,36 @@ mod tests {
             .jobs()
             .windows(2)
             .all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn perturb_can_drop_duplicate_and_edit() {
+        let t = Trace::new(vec![
+            job(0, 1.0, 1.0, 10),
+            job(1, 2.0, 1.0, 20),
+            job(2, 3.0, 1.0, 30),
+        ]);
+        assert_eq!(t.max_job_id(), 2);
+        let next_id = t.max_job_id() + 1;
+        let p = t.perturb(|j, out| match j.id.0 {
+            0 => {} // drop
+            1 => {
+                let mut twin = j.clone();
+                twin.id = JobId(next_id);
+                out.push(j);
+                out.push(twin);
+            }
+            _ => {
+                let mut edited = j;
+                edited.size_bytes *= 2;
+                out.push(edited);
+            }
+        });
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.jobs()[0].id, JobId(1));
+        assert_eq!(p.jobs()[2].size_bytes, 60);
+        assert!(p.jobs().windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert_eq!(Trace::default().max_job_id(), 0);
     }
 
     #[test]

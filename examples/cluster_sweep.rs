@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build()
             .train(&train, &cost_model)?;
 
-        let sim = Simulator::new(SimConfig::from_quota_fraction(&test, quota), cost_model);
+        let sim = Simulator::new(
+            SimConfig::try_from_quota_fraction(&test, quota).expect("valid quota fraction"),
+            cost_model,
+        );
 
         // The three baselines plus the two BYOM variants.
         let mut results = Vec::new();

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .train(&train, &cost_model)?;
 
     for quota in [0.01, 0.20] {
-        let sim = Simulator::new(SimConfig::from_quota_fraction(&test, quota), cost_model);
+        let sim = Simulator::new(
+            SimConfig::try_from_quota_fraction(&test, quota).expect("valid quota fraction"),
+            cost_model,
+        );
         let ff = sim.run(&test, &mut FirstFit::new());
         let ar = sim.run(&test, &mut trained.adaptive_ranking_policy());
         println!("SSD quota {:.0}% of peak usage:", quota * 100.0);

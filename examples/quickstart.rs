@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Online: replay the test week at a 1% SSD quota.
     let quota = 0.01;
-    let sim = Simulator::new(SimConfig::from_quota_fraction(&test, quota), cost_model);
+    let sim = Simulator::new(
+        SimConfig::try_from_quota_fraction(&test, quota).expect("valid quota fraction"),
+        cost_model,
+    );
 
     let first_fit = sim.run(&test, &mut FirstFit::new());
     let ranking = sim.run(&test, &mut trained.adaptive_ranking_policy());

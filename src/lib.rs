@@ -18,6 +18,7 @@
 //! | [`sim`] | SSD/HDD tiering simulator with spillover |
 //! | [`policies`] | FirstFit, CacheSack-style heuristic, ML lifetime baseline |
 //! | [`core`] | category labels, category models, Algorithm 1, BYOM pipeline |
+//! | [`chaos`] | seeded fault injection and the graceful-degradation harness |
 //!
 //! ## Quickstart
 //!
@@ -38,7 +39,7 @@
 //!     .train(&train, &cost_model)?;
 //!
 //! // 3. Replay the online week against the adaptive ranking policy.
-//! let sim = Simulator::new(SimConfig::from_quota_fraction(&test, 0.05), cost_model);
+//! let sim = Simulator::new(SimConfig::try_from_quota_fraction(&test, 0.05).expect("valid quota fraction"), cost_model);
 //! let result = sim.run(&test, &mut trained.adaptive_ranking_policy());
 //! println!("TCO savings: {:.2}%", result.tco_savings_percent());
 //! # Ok(())
@@ -92,6 +93,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use byom_chaos as chaos;
 pub use byom_core as core;
 pub use byom_cost as cost;
 pub use byom_gbdt as gbdt;
@@ -102,9 +104,10 @@ pub use byom_trace as trace;
 
 /// Commonly used types from across the workspace.
 pub mod prelude {
+    pub use byom_chaos::{FaultPlan, FaultyCategorizer, FaultyDevice};
     pub use byom_core::{
         AdaptiveConfig, AdaptivePolicy, ByomPipeline, CategoryLabeler, CategoryModel,
-        CategoryModelConfig, HashCategorizer, TrainedByom,
+        CategoryModelConfig, HashCategorizer, LadderConfig, LadderPolicy, TrainedByom,
     };
     pub use byom_cost::{CostModel, CostRates, JobCost, Placement, SavingsSummary};
     pub use byom_gbdt::{Dataset, GbdtParams, GradientBoostedTrees};

@@ -32,7 +32,10 @@ fn fixture(seed: u64) -> Fixture {
 }
 
 fn run(f: &Fixture, quota: f64, policy: &mut dyn PlacementPolicy) -> SimulationResult {
-    let sim = Simulator::new(SimConfig::from_quota_fraction(&f.test, quota), f.cost_model);
+    let sim = Simulator::new(
+        SimConfig::try_from_quota_fraction(&f.test, quota).expect("valid quota fraction"),
+        f.cost_model,
+    );
     sim.run(&f.test, policy)
 }
 
@@ -108,7 +111,9 @@ fn oracle_bounds_every_online_policy() {
 fn ssd_occupancy_never_exceeds_quota_for_any_policy() {
     let f = fixture(1400);
     for quota in [0.005, 0.05, 0.5] {
-        let capacity = SimConfig::from_quota_fraction(&f.test, quota).ssd_capacity_bytes;
+        let capacity = SimConfig::try_from_quota_fraction(&f.test, quota)
+            .expect("valid quota fraction")
+            .ssd_capacity_bytes;
         for result in [
             run(&f, quota, &mut FirstFit::new()),
             run(&f, quota, &mut f.trained.adaptive_ranking_policy()),
