@@ -73,7 +73,7 @@ fn bench_gbdt_training(c: &mut Criterion) {
     println!(
         "gbdt_training_50_trees speedup: {:.2}x on {} cores ({:.2}s -> {:.2}s)\n",
         sequential / parallel.max(1e-9),
-        rayon::current_num_threads(),
+        byom_exec::current_num_threads(),
         sequential,
         parallel,
     );
@@ -113,7 +113,7 @@ fn bench_cluster_sweep(c: &mut Criterion) {
     println!(
         "cluster_sweep_4_clusters speedup: {:.2}x on {} cores ({:.2}s -> {:.2}s)\n",
         sequential / parallel.max(1e-9),
-        rayon::current_num_threads(),
+        byom_exec::current_num_threads(),
         sequential,
         parallel,
     );

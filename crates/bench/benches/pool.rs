@@ -1,0 +1,174 @@
+//! Per-call overhead of the persistent work-stealing pool versus the old
+//! spawn-scoped-threads-per-`collect()` strategy.
+//!
+//! The executor refactor's claim is that a persistent pool amortizes thread
+//! startup across calls: a `par_iter().collect()` should cost queue pushes
+//! and wake-ups, not `thread::spawn` syscalls. This bench pins that claim
+//! by racing the pool against a faithful local reimplementation of the old
+//! scoped-spawn shim on the workloads where spawn overhead dominates —
+//! many small maps and nested fan-outs.
+//!
+//! Run with `cargo bench -p byom_bench --bench pool`. Set
+//! `BYOM_BENCH_QUICK=1` to shrink the workload for a CI smoke run. Both
+//! strategies produce identical results (order-slotted, deterministic); the
+//! difference is pure scheduling overhead.
+
+use byom_exec::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var("BYOM_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Faithful reimplementation of the pre-executor vendor shim: spawn `threads`
+/// scoped workers per call, distribute indices via an atomic counter, slot
+/// results by index. This is what every `collect()` used to pay.
+fn scoped_spawn_map<U: Send, F: Fn(usize) -> U + Sync>(threads: usize, len: usize, f: F) -> Vec<U> {
+    let workers = threads.min(len);
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                if let Ok(mut out) = collected.lock() {
+                    out.append(&mut local);
+                }
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().unwrap_or_default();
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+fn pooled_map(threads: usize, len: usize) -> Vec<u64> {
+    (0..len)
+        .into_par_iter()
+        .with_max_threads(threads)
+        .map(work_item)
+        .collect()
+}
+
+/// A deliberately small work item: a few dozen nanoseconds of arithmetic, so
+/// per-call scheduling overhead dominates the measurement.
+fn work_item(i: usize) -> u64 {
+    let mut x = i as u64;
+    for _ in 0..8 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+    }
+    x
+}
+
+/// Many small maps back to back: the fig binaries' dominant pattern (every
+/// quota point, cluster, and intensity is one modest `collect()`).
+fn bench_small_maps(c: &mut Criterion) {
+    let threads = 4;
+    let len = if quick() { 32 } else { 128 };
+    let calls = if quick() { 20 } else { 100 };
+
+    let mut group = c.benchmark_group("pool_small_maps");
+    group.sample_size(2);
+    group.bench_function("scoped_spawn", |b| {
+        b.iter(|| {
+            for _ in 0..calls {
+                criterion::black_box(scoped_spawn_map(threads, len, work_item));
+            }
+        })
+    });
+    group.bench_function("persistent_pool", |b| {
+        b.iter(|| {
+            for _ in 0..calls {
+                criterion::black_box(pooled_map(threads, len));
+            }
+        })
+    });
+    group.finish();
+
+    report_per_call_overhead("small_maps", calls, threads, len);
+}
+
+/// Nested fan-out: the cluster × quota shape. The scoped-spawn strategy
+/// spawns `outer × inner` threads; the pool schedules everything onto the
+/// same fixed worker set.
+fn bench_nested_maps(c: &mut Criterion) {
+    let threads = 4;
+    let outer = if quick() { 4 } else { 8 };
+    let inner = if quick() { 16 } else { 64 };
+    let calls = if quick() { 10 } else { 50 };
+
+    let scoped = || {
+        scoped_spawn_map(threads, outer, |i| {
+            scoped_spawn_map(threads, inner, move |j| work_item(i * inner + j))
+        })
+    };
+    let pooled = || {
+        (0..outer)
+            .into_par_iter()
+            .with_max_threads(threads)
+            .map(|i| {
+                (0..inner)
+                    .into_par_iter()
+                    .map(move |j| work_item(i * inner + j))
+                    .collect::<Vec<u64>>()
+            })
+            .collect::<Vec<Vec<u64>>>()
+    };
+
+    let mut group = c.benchmark_group("pool_nested_maps");
+    group.sample_size(2);
+    group.bench_function("scoped_spawn", |b| {
+        b.iter(|| {
+            for _ in 0..calls {
+                criterion::black_box(scoped());
+            }
+        })
+    });
+    group.bench_function("persistent_pool", |b| {
+        b.iter(|| {
+            for _ in 0..calls {
+                criterion::black_box(pooled());
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Print the headline number: average wall-clock per `collect()` call.
+fn report_per_call_overhead(label: &str, calls: usize, threads: usize, len: usize) {
+    let timed = |f: &dyn Fn() -> Vec<u64>| {
+        // One warm-up call keeps lazy pool startup out of the measurement.
+        criterion::black_box(f());
+        let start = Instant::now();
+        for _ in 0..calls {
+            criterion::black_box(f());
+        }
+        start.elapsed().as_secs_f64() / calls as f64
+    };
+    let scoped = timed(&|| scoped_spawn_map(threads, len, work_item));
+    let pooled = timed(&|| pooled_map(threads, len));
+    println!(
+        "{label}: per-call overhead {:.1}us scoped-spawn vs {:.1}us persistent pool ({:.2}x)\n",
+        scoped * 1e6,
+        pooled * 1e6,
+        scoped / pooled.max(1e-12),
+    );
+}
+
+criterion_group!(benches, bench_small_maps, bench_nested_maps);
+criterion_main!(benches);

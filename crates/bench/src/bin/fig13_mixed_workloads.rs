@@ -10,10 +10,10 @@
 use byom_bench::report::f2;
 use byom_bench::{ExperimentContext, ExperimentParams, Table};
 use byom_cost::{savings_summary, Placement};
+use byom_exec::prelude::*;
 use byom_policies::FirstFit;
 use byom_sim::{application_runtime_savings_percent, SimulationResult};
 use byom_trace::{Archetype, ClusterSpec};
-use rayon::prelude::*;
 
 /// Savings summary restricted to framework or non-framework jobs.
 fn split_savings(ctx: &ExperimentContext, result: &SimulationResult, framework: bool) -> f64 {

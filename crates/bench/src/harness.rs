@@ -2,6 +2,7 @@
 
 use byom_core::{ByomPipeline, TrainedByom};
 use byom_cost::{CostModel, CostRates};
+use byom_exec::prelude::*;
 use byom_policies::{
     CategoryHeuristic, FirstFit, LifetimeMlBaseline, LifetimeModelConfig, OraclePolicy,
 };
@@ -10,7 +11,6 @@ use byom_sim::{
 };
 use byom_solver::{Oracle, OracleObjective};
 use byom_trace::{ClusterSpec, JobId, Trace, TraceGenerator};
-use rayon::prelude::*;
 
 /// Parameters shared by most experiments.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,10 +28,15 @@ pub struct ExperimentParams {
     pub num_categories: usize,
     /// Maximum boosting rounds for the category model.
     pub gbdt_trees: usize,
-    /// Worker threads for model training and the parallel sweep helpers
-    /// ([`run_clusters_parallel`], [`run_quotas_parallel`]). `0` means "all
-    /// available cores"; `1` recovers the fully sequential behavior. Results
-    /// are identical regardless of this setting.
+    /// Thread budget for model training and the parallel sweep helpers
+    /// ([`run_clusters_parallel`], [`run_quotas_parallel`],
+    /// `run_resilience_sweep`). All layers share one persistent executor
+    /// pool, so this is a single process-wide budget rather than a per-level
+    /// multiplier: nested fan-outs (clusters × per-class trees × split
+    /// search) cooperate inside it via work-stealing. `0` means "inherit the
+    /// ambient budget" (`BYOM_THREADS` or all cores at top level); `1`
+    /// forces strictly sequential execution at every nesting level. Results
+    /// are bit-identical regardless of this setting.
     pub parallelism: usize,
 }
 
@@ -87,34 +92,39 @@ impl ExperimentContext {
     /// Panics if model training fails (which would indicate an empty or
     /// degenerate generated trace).
     pub fn prepare(spec: ClusterSpec, params: ExperimentParams) -> Self {
-        // `generate_cached` deduplicates trace generation process-wide, so
-        // figure binaries that prepare overlapping contexts (and parallel
-        // sweeps racing over the same specs) only pay for each distinct
-        // (seed, spec, duration) once.
-        let train = TraceGenerator::new(params.train_seed)
-            .generate_cached(&spec, params.train_hours * 3600.0)
-            .as_ref()
-            .clone();
-        let test = TraceGenerator::new(params.test_seed)
-            .generate_cached(&spec, params.test_hours * 3600.0)
-            .as_ref()
-            .clone();
-        let cost_model = CostModel::new(CostRates::default());
-        let trained = ByomPipeline::builder()
-            .num_categories(params.num_categories)
-            .gbdt_trees(params.gbdt_trees)
-            .parallelism(params.parallelism)
-            .build()
-            .train(&train, &cost_model)
-            .expect("training the category model on a generated trace should succeed");
-        ExperimentContext {
-            spec,
-            train,
-            test,
-            cost_model,
-            trained,
-            params,
-        }
+        // Pin the experiment's thread budget for everything preparation does
+        // (trace generation, labeling, model training): nested parallel
+        // calls inherit it instead of falling back to "all cores".
+        byom_exec::install(params.parallelism, || {
+            // `generate_cached` deduplicates trace generation process-wide,
+            // so figure binaries that prepare overlapping contexts (and
+            // parallel sweeps racing over the same specs) only pay for each
+            // distinct (seed, spec, duration) once.
+            let train = TraceGenerator::new(params.train_seed)
+                .generate_cached(&spec, params.train_hours * 3600.0)
+                .as_ref()
+                .clone();
+            let test = TraceGenerator::new(params.test_seed)
+                .generate_cached(&spec, params.test_hours * 3600.0)
+                .as_ref()
+                .clone();
+            let cost_model = CostModel::new(CostRates::default());
+            let trained = ByomPipeline::builder()
+                .num_categories(params.num_categories)
+                .gbdt_trees(params.gbdt_trees)
+                .parallelism(params.parallelism)
+                .build()
+                .train(&train, &cost_model)
+                .expect("training the category model on a generated trace should succeed");
+            ExperimentContext {
+                spec,
+                train,
+                test,
+                cost_model,
+                trained,
+                params,
+            }
+        })
     }
 
     /// Convenience: a balanced single-cluster context with default parameters.
@@ -161,6 +171,22 @@ impl ExperimentContext {
     /// `include_oracles` controls whether the clairvoyant bounds are included
     /// (they are the slowest part for large traces).
     pub fn run_all_methods(&self, quota_fraction: f64, include_oracles: bool) -> Vec<MethodResult> {
+        // Pin this experiment's thread budget: before the unified executor,
+        // the ML baseline trained below fell back to "all available cores"
+        // even when `params.parallelism` was 1, because nested calls
+        // resolved their own `available_parallelism` default. Installing the
+        // budget makes `parallelism = 1` strictly sequential at every
+        // nesting level.
+        byom_exec::install(self.params.parallelism, || {
+            self.run_all_methods_inner(quota_fraction, include_oracles)
+        })
+    }
+
+    fn run_all_methods_inner(
+        &self,
+        quota_fraction: f64,
+        include_oracles: bool,
+    ) -> Vec<MethodResult> {
         let mut results = Vec::new();
 
         let mut first_fit = FirstFit::new();
@@ -205,8 +231,9 @@ impl ExperimentContext {
     }
 }
 
-/// Evaluate `run` for every cluster spec on up to `parallelism` worker
-/// threads (`0` = all available cores, `1` = the old sequential loop).
+/// Evaluate `run` for every cluster spec on up to `parallelism` threads of
+/// the shared executor pool (`0` = inherit the ambient budget, `1` = the
+/// old sequential loop, at every nesting level).
 ///
 /// Results come back in spec order, and every experiment is deterministic
 /// given its spec, so the output is identical to mapping `run` over `specs`
@@ -225,8 +252,9 @@ where
 }
 
 /// Run the compared-methods sweep of one prepared context across several
-/// quotas on up to `parallelism` worker threads (`0` = all available cores,
-/// `1` = the old sequential loop). Returns one `Vec<MethodResult>` per quota,
+/// quotas on up to `parallelism` threads of the shared executor pool (`0` =
+/// inherit the ambient budget, `1` = the old sequential loop, at every
+/// nesting level). Returns one `Vec<MethodResult>` per quota,
 /// in quota order — identical to calling
 /// [`ExperimentContext::run_all_methods`] in a loop.
 pub fn run_quotas_parallel(

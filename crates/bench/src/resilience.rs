@@ -9,6 +9,7 @@
 
 use crate::harness::{ExperimentContext, ExperimentParams};
 use byom_chaos::{attach_twin_delta, run_ladder, run_no_fallback, run_unfaulted, FaultPlan};
+use byom_exec::prelude::*;
 use byom_sim::SimulationResult;
 use byom_trace::ClusterSpec;
 
@@ -91,6 +92,11 @@ impl ResilienceSweep {
 /// ladder run and a no-fallback run under `FaultPlan::at_intensity(seed, i)`,
 /// each with its savings delta versus the twin recorded in the resilience
 /// report. Deterministic for a given context and seed.
+///
+/// Intensities fan out across the shared executor pool under the context's
+/// thread budget: every point is a pure function of `(ctx, seed,
+/// intensity)` and results come back in intensity order, so the sweep is
+/// bit-identical to the old sequential loop.
 pub fn run_resilience_sweep(
     ctx: &ExperimentContext,
     quota_fraction: f64,
@@ -100,7 +106,8 @@ pub fn run_resilience_sweep(
     let sim = ctx.simulator(quota_fraction);
     let unfaulted = run_unfaulted(&ctx.trained, &sim, &ctx.test);
     let points = intensities
-        .iter()
+        .par_iter()
+        .with_max_threads(ctx.params.parallelism)
         .map(|&intensity| {
             let plan = FaultPlan::at_intensity(seed, intensity);
             let mut ladder = run_ladder(&ctx.trained, &sim, &ctx.test, &plan);

@@ -73,10 +73,13 @@ impl ByomPipelineBuilder {
         self
     }
 
-    /// Worker threads used while training the category model: the per-class
-    /// trees of each boosting round are fitted concurrently. `0` (the
-    /// default) means "all available cores"; `1` trains fully sequentially.
-    /// The trained model is bit-identical regardless of this setting.
+    /// Thread budget used while training the category model: the per-class
+    /// trees of each boosting round are fitted concurrently on the shared
+    /// executor pool, and the per-feature split search inside each tree
+    /// shares the same budget via work-stealing. `0` (the default) inherits
+    /// the ambient budget (`BYOM_THREADS` or all cores); `1` trains strictly
+    /// sequentially at every nesting level. The trained model is
+    /// bit-identical regardless of this setting.
     pub fn parallelism(mut self, threads: usize) -> Self {
         self.parallelism = threads;
         self
@@ -129,17 +132,21 @@ impl ByomPipeline {
         if train.is_empty() {
             return Err(GbdtError::EmptyDataset);
         }
-        let costs = cost_model.cost_trace(train);
-        let labeler = CategoryLabeler::fit(&costs, self.builder.num_categories);
-        let model = CategoryModel::train(&self.model_config(), train, &costs, &labeler)?;
-        Ok(TrainedByom {
-            labeler,
-            model,
-            cost_model: *cost_model,
-            adaptive: AdaptiveConfig {
-                num_categories: self.builder.num_categories,
-                ..self.builder.adaptive
-            },
+        // Pin the pipeline's thread budget for the whole training flow, so
+        // labeling and every nested level of model training share it.
+        byom_exec::install(self.builder.parallelism, || {
+            let costs = cost_model.cost_trace(train);
+            let labeler = CategoryLabeler::fit(&costs, self.builder.num_categories);
+            let model = CategoryModel::train(&self.model_config(), train, &costs, &labeler)?;
+            Ok(TrainedByom {
+                labeler,
+                model,
+                cost_model: *cost_model,
+                adaptive: AdaptiveConfig {
+                    num_categories: self.builder.num_categories,
+                    ..self.builder.adaptive
+                },
+            })
         })
     }
 }

@@ -1,0 +1,334 @@
+//! The job layer: deterministic chunked map / join execution on the pool.
+//!
+//! A *job* is a borrow of the caller's stack (the closure, its environment,
+//! and the result buffers live in the caller's frame). The pool only ever
+//! sees `'static` tickets holding an `Arc<JobShared>`; the pointer back to
+//! the stack frame is dereferenced only between a successful *enter* and
+//! the matching *exit*, both of which happen under the job's state mutex.
+//! The caller's close protocol — set `closed`, then wait until no helper is
+//! active and no chunk is in flight — therefore guarantees the frame
+//! outlives every dereference, even for tickets that run long after the
+//! job finished (they observe `closed` and return without touching the
+//! pointer).
+//!
+//! Determinism: chunks are claimed dynamically, but every chunk covers a
+//! fixed index range and results are slotted by chunk index, so the output
+//! is byte-identical to sequential execution for any pure closure — on any
+//! worker count and any steal schedule.
+
+use crate::pool;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Target chunks per participating thread: enough slack that uneven item
+/// costs rebalance, few enough that per-chunk bookkeeping stays cheap.
+const CHUNKS_PER_THREAD: usize = 4;
+
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+struct JobState {
+    /// Next unclaimed chunk; `>= chunks` means nothing left to claim.
+    next_chunk: usize,
+    /// Total chunks in this job.
+    chunks: usize,
+    /// Chunks claimed but not yet finished.
+    in_flight: usize,
+    /// Helpers currently inside the claim loop (may dereference the frame).
+    active_helpers: usize,
+    /// Set by the caller before its final wait: no helper may enter past
+    /// this point, so late tickets become no-ops.
+    closed: bool,
+    /// First panic payload observed; claiming stops once this is set.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// The `'static`, pool-visible half of a job.
+pub(crate) struct JobShared {
+    state: Mutex<JobState>,
+    cv: Condvar,
+    /// Address of the concrete job in the caller's frame, stored as an
+    /// integer so `JobShared` stays automatically `Send + Sync`. Only
+    /// dereferenced by `execute` between enter and exit (see module docs).
+    frame: AtomicUsize,
+    /// Monomorphized entry point that casts `frame` back to the concrete
+    /// job type and runs its claim loop.
+    execute: unsafe fn(usize),
+}
+
+impl JobShared {
+    fn new(chunks: usize, execute: unsafe fn(usize)) -> JobShared {
+        JobShared {
+            state: Mutex::new(JobState {
+                next_chunk: 0,
+                chunks,
+                in_flight: 0,
+                active_helpers: 0,
+                closed: false,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+            frame: AtomicUsize::new(0),
+            execute,
+        }
+    }
+
+    /// Claim the next chunk, or `None` when the job is exhausted/cancelled.
+    fn claim(&self) -> Option<usize> {
+        let mut st = relock(self.state.lock());
+        if st.panic.is_some() || st.next_chunk >= st.chunks {
+            return None;
+        }
+        let chunk = st.next_chunk;
+        st.next_chunk += 1;
+        st.in_flight += 1;
+        Some(chunk)
+    }
+
+    fn finish_chunk(&self) {
+        let mut st = relock(self.state.lock());
+        st.in_flight = st.in_flight.saturating_sub(1);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Record a panic from inside a chunk and cancel all unclaimed chunks.
+    fn abort(&self, payload: Box<dyn Any + Send>) {
+        let mut st = relock(self.state.lock());
+        if st.panic.is_none() {
+            st.panic = Some(payload);
+        }
+        st.next_chunk = st.chunks;
+        st.in_flight = st.in_flight.saturating_sub(1);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Ticket entry point. Registers as an active helper (unless the job
+    /// already closed) and only then dereferences the frame pointer.
+    fn enter(&self) {
+        {
+            let mut st = relock(self.state.lock());
+            if st.closed || st.panic.is_some() || st.next_chunk >= st.chunks {
+                return;
+            }
+            st.active_helpers += 1;
+        }
+        let frame = self.frame.load(Ordering::Acquire);
+        // The claim loop catches user panics per chunk; a panic escaping it
+        // would be an executor bug. Catch it anyway so the exit bookkeeping
+        // below always runs — a lost exit would deadlock the caller.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: we are registered as an active helper, so the caller's
+            // close protocol blocks until we exit; the frame is alive.
+            unsafe { (self.execute)(frame) }
+        }));
+        let mut st = relock(self.state.lock());
+        st.active_helpers = st.active_helpers.saturating_sub(1);
+        if let Err(payload) = outcome {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+            st.next_chunk = st.chunks;
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Caller-side: forbid new entries, then wait until every claimed chunk
+    /// finished and every active helper left the frame.
+    fn close_and_wait(&self) {
+        let mut st = relock(self.state.lock());
+        st.closed = true;
+        while st.next_chunk < st.chunks || st.in_flight > 0 || st.active_helpers > 0 {
+            st = relock(self.cv.wait(st));
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        relock(self.state.lock()).panic.take()
+    }
+}
+
+/// A concrete job: claim chunks until the shared state runs dry.
+trait ChunkJob: Sync {
+    fn claim_loop(&self);
+}
+
+/// Monomorphized trampoline stored in [`JobShared::execute`].
+///
+/// # Safety
+/// `frame` must be the address of a live `J` whose owner is blocked in
+/// [`JobShared::close_and_wait`] until this call returns (enforced by the
+/// enter/exit protocol).
+unsafe fn execute_shim<J: ChunkJob>(frame: usize) {
+    let job = unsafe { &*(frame as *const J) };
+    job.claim_loop();
+}
+
+/// Run one helper claim-loop iteration set for `shared`, used by both the
+/// caller (directly) and tickets (via [`JobShared::enter`]).
+struct MapJob<'f, U, F> {
+    shared: Arc<JobShared>,
+    f: &'f F,
+    len: usize,
+    chunk_size: usize,
+    /// Scope budget every participating thread inherits, so nested parallel
+    /// calls inside `f` share the same configured thread budget.
+    budget: usize,
+    results: Mutex<Vec<(usize, Vec<U>)>>,
+}
+
+impl<U: Send, F: Fn(usize) -> U + Sync> ChunkJob for MapJob<'_, U, F> {
+    fn claim_loop(&self) {
+        crate::with_scope_budget(self.budget, || {
+            while let Some(chunk) = self.shared.claim() {
+                let start = chunk * self.chunk_size;
+                let end = (start + self.chunk_size).min(self.len);
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    (start..end).map(self.f).collect::<Vec<U>>()
+                }));
+                match out {
+                    Ok(values) => {
+                        relock(self.results.lock()).push((chunk, values));
+                        self.shared.finish_chunk();
+                    }
+                    Err(payload) => self.shared.abort(payload),
+                }
+            }
+        });
+    }
+}
+
+/// Execute `f(0..len)` with `width` participating threads (the caller plus
+/// `width - 1` pool tickets), returning results in index order. Panics from
+/// `f` are propagated to the caller after the job has fully quiesced.
+pub(crate) fn run_chunked<U, F>(budget: usize, width: usize, len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    debug_assert!(width >= 2 && len >= 2);
+    let chunk_size = len.div_ceil(width * CHUNKS_PER_THREAD).max(1);
+    let chunks = len.div_ceil(chunk_size);
+    let shared = Arc::new(JobShared::new(
+        chunks,
+        execute_shim::<MapJob<'_, U, F>> as unsafe fn(usize),
+    ));
+    let job = MapJob {
+        shared: Arc::clone(&shared),
+        f: &f,
+        len,
+        chunk_size,
+        budget,
+        results: Mutex::new(Vec::with_capacity(chunks)),
+    };
+    shared
+        .frame
+        .store(&job as *const MapJob<'_, U, F> as usize, Ordering::Release);
+    let tickets = (width - 1).min(chunks.saturating_sub(1));
+    pool::global().push_tasks((0..tickets).map(|_| {
+        let shared = Arc::clone(&shared);
+        Box::new(move || shared.enter()) as pool::Task
+    }));
+    // The caller participates: it claims chunks like any helper, so a job
+    // always makes progress even if every pool worker is busy elsewhere.
+    job.claim_loop();
+    shared.close_and_wait();
+    if let Some(payload) = shared.take_panic() {
+        resume_unwind(payload);
+    }
+    let mut slots = relock(job.results.lock());
+    slots.sort_unstable_by_key(|&(chunk, _)| chunk);
+    debug_assert_eq!(slots.iter().map(|(_, v)| v.len()).sum::<usize>(), len);
+    let mut out = Vec::with_capacity(len);
+    for (_, mut values) in slots.drain(..) {
+        out.append(&mut values);
+    }
+    out
+}
+
+/// The `join` half-job: a single-chunk job owning closure `b`.
+struct JoinJob<'s, B, RB> {
+    shared: Arc<JobShared>,
+    b: Mutex<Option<B>>,
+    out: &'s Mutex<Option<RB>>,
+    budget: usize,
+}
+
+impl<B, RB> ChunkJob for JoinJob<'_, B, RB>
+where
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    fn claim_loop(&self) {
+        while let Some(_chunk) = self.shared.claim() {
+            let Some(b) = relock(self.b.lock()).take() else {
+                self.shared.finish_chunk();
+                continue;
+            };
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                crate::with_scope_budget(self.budget, b)
+            }));
+            match out {
+                Ok(value) => {
+                    *relock(self.out.lock()) = Some(value);
+                    self.shared.finish_chunk();
+                }
+                Err(payload) => self.shared.abort(payload),
+            }
+        }
+    }
+}
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+/// `b` is offered to the pool while the caller runs `a`; if no worker picks
+/// it up in time, the caller runs `b` itself. Panics propagate after both
+/// sides have quiesced (`a`'s panic wins if both panic).
+pub(crate) fn run_join<A, B, RA, RB>(budget: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let out_b: Mutex<Option<RB>> = Mutex::new(None);
+    let shared = Arc::new(JobShared::new(
+        1,
+        execute_shim::<JoinJob<'_, B, RB>> as unsafe fn(usize),
+    ));
+    let job = JoinJob {
+        shared: Arc::clone(&shared),
+        b: Mutex::new(Some(b)),
+        out: &out_b,
+        budget,
+    };
+    shared.frame.store(
+        &job as *const JoinJob<'_, B, RB> as usize,
+        Ordering::Release,
+    );
+    pool::global().push_tasks(std::iter::once({
+        let shared = Arc::clone(&shared);
+        Box::new(move || shared.enter()) as pool::Task
+    }));
+    let result_a = catch_unwind(AssertUnwindSafe(|| crate::with_scope_budget(budget, a)));
+    // If the ticket has not started, run `b` on this thread; otherwise this
+    // loop claims nothing and we simply wait for the helper to finish.
+    job.claim_loop();
+    shared.close_and_wait();
+    match (result_a, shared.take_panic()) {
+        (Err(payload), _) => resume_unwind(payload),
+        (_, Some(payload)) => resume_unwind(payload),
+        (Ok(ra), None) => {
+            let rb = relock(out_b.lock())
+                .take()
+                .unwrap_or_else(|| unreachable!("join quiesced without running `b`"));
+            (ra, rb)
+        }
+    }
+}

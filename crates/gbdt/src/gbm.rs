@@ -5,10 +5,10 @@ use crate::dataset::Dataset;
 use crate::error::GbdtError;
 use crate::metrics::log_loss;
 use crate::tree::{Tree, TreeParams};
+use byom_exec::prelude::*;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Hyperparameters of the boosted ensemble.
@@ -195,15 +195,6 @@ impl GradientBoostedTrees {
         let mut all_rows: Vec<usize> = (0..n).collect();
         let sample_size = ((n as f64 * params.subsample).round() as usize).clamp(1, n);
 
-        // Thread budget: the per-class trees of one round are independent
-        // (their gradients all derive from the probabilities computed at the
-        // start of the round, and their score updates touch disjoint class
-        // columns), so classes are the outer level of parallelism. Whatever
-        // is left over goes to the per-feature split search inside each tree.
-        let threads = rayon::resolve_threads(params.parallelism);
-        let class_threads = threads.min(k);
-        let tree_threads = (threads / class_threads).max(1);
-
         for round in 0..params.num_trees {
             // Softmax probabilities and gradients.
             let probs = softmax_rows(&scores, k);
@@ -212,12 +203,18 @@ impl GradientBoostedTrees {
             let sample = &all_rows[..sample_size];
 
             // Fit one tree per class and pre-compute its score contributions.
-            // Executed in class order when `class_threads == 1`; the parallel
-            // schedule is bit-identical because each class's work is a pure
-            // function of the round-start probabilities.
+            // The per-class trees of one round are independent (their
+            // gradients all derive from the probabilities computed at the
+            // start of the round, and their score updates touch disjoint
+            // class columns), so classes fan out on the shared pool under
+            // `params.parallelism`; the per-feature split search inside each
+            // tree inherits the same budget and cooperates through
+            // work-stealing instead of claiming its own thread quota. The
+            // schedule is bit-identical to sequential because each class's
+            // work is a pure function of the round-start probabilities.
             let fitted: Vec<(Tree, Vec<f64>, Vec<f64>)> = (0..k)
                 .into_par_iter()
-                .with_max_threads(class_threads)
+                .with_max_threads(params.parallelism)
                 .map(|class| {
                     let mut grad = vec![0.0f64; n];
                     let mut hess = vec![0.0f64; n];
@@ -235,7 +232,9 @@ impl GradientBoostedTrees {
                         &hess,
                         sample,
                         params.tree,
-                        tree_threads,
+                        // Inherit this fan-out's budget (0 = ambient): nested
+                        // split searches share the round's thread quota.
+                        0,
                     );
                     let train_preds: Vec<f64> =
                         (0..n).map(|i| tree.predict_row(train.row(i))).collect();

@@ -5,7 +5,7 @@
 //! values use the standard second-order (Newton) estimate `-G / (H + λ)`.
 
 use crate::binning::BinMapper;
-use rayon::prelude::*;
+use byom_exec::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Below this many rows a node's split search runs sequentially even when
@@ -108,8 +108,9 @@ impl Tree {
     }
 
     /// Like [`Tree::fit`], but searching split candidates across features on
-    /// up to `parallelism` threads (`0` = all available cores, `1` =
-    /// sequential).
+    /// up to `parallelism` threads of the shared executor pool (`0` =
+    /// inherit the ambient thread budget, `1` = strictly sequential —
+    /// including any parallelism nested below this call).
     ///
     /// The result is **bit-identical** to the sequential fit: each feature's
     /// candidate is computed by the same scan, and candidates are reduced in
@@ -143,7 +144,7 @@ impl Tree {
             grad,
             hess,
             params,
-            parallelism: rayon::resolve_threads(parallelism),
+            parallelism: byom_exec::resolve_threads(parallelism),
         };
         let mut tree = Tree { nodes: Vec::new() };
         let mut rows_owned: Vec<usize> = rows.to_vec();
@@ -270,23 +271,33 @@ impl Tree {
         if num_bins < 2 {
             return None;
         }
-        // Histogram of gradient statistics per bin.
-        let mut g_hist = vec![0.0f64; num_bins];
-        let mut h_hist = vec![0.0f64; num_bins];
-        let mut c_hist = vec![0usize; num_bins];
+        // Histogram of gradient statistics per bin: one `(grad, hess, count)`
+        // slot per bin, filled in row order so the float accumulation order —
+        // and therefore the fitted tree — is bit-identical to the original
+        // three-array fill. Bins come from `BinMapper` and are `< num_bins`
+        // by construction; rows are validated against `grad`/`hess` at fit
+        // entry, so the `get` lookups never actually miss.
+        let mut hist = vec![(0.0f64, 0.0f64, 0usize); num_bins];
         for &i in rows {
-            let b = ctx.binned[i * ctx.num_features + f] as usize;
-            g_hist[b] += ctx.grad[i];
-            h_hist[b] += ctx.hess[i];
-            c_hist[b] += 1;
+            let b = ctx
+                .binned
+                .get(i * ctx.num_features + f)
+                .copied()
+                .unwrap_or(0) as usize;
+            if let (Some(slot), Some(&g), Some(&h)) =
+                (hist.get_mut(b), ctx.grad.get(i), ctx.hess.get(i))
+            {
+                slot.0 += g;
+                slot.1 += h;
+                slot.2 += 1;
+            }
         }
         // Scan split points (split after bin b: left = bins 0..=b).
         let mut best: Option<BestSplit> = None;
         let mut g_left = 0.0;
         let mut h_left = 0.0;
         let mut c_left = 0usize;
-        let bins = g_hist.iter().zip(&h_hist).zip(&c_hist).enumerate();
-        for (b, ((&g_bin, &h_bin), &c_bin)) in bins.take(num_bins - 1) {
+        for (b, &(g_bin, h_bin, c_bin)) in hist.iter().enumerate().take(num_bins - 1) {
             g_left += g_bin;
             h_left += h_bin;
             c_left += c_bin;

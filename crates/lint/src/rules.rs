@@ -130,21 +130,47 @@ fn skip_balanced(toks: &[Token], open_idx: usize, open: char, close: char) -> us
     j
 }
 
+/// Index of the token that opens the group closed at `close_idx`, scanning
+/// backward. Returns `None` if the stream never balances.
+fn open_of_balanced(toks: &[Token], close_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = close_idx;
+    loop {
+        if is_punct(&toks[j], close) {
+            depth += 1;
+        } else if is_punct(&toks[j], open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+}
+
 fn in_spans(line: u32, spans: &[(u32, u32)]) -> bool {
     spans.iter().any(|&(a, b)| line >= a && line <= b)
 }
 
 /// `HashMap`/`HashSet` iteration: taint identifiers declared with an
-/// unordered-collection type (field, binding, or parameter), then flag
+/// unordered-collection type (field, binding, or parameter) and functions
+/// whose return type is an unordered collection, then flag
 /// `for … in tainted`, `tainted.iter()`, `.keys()`, `.values()`,
 /// `.into_iter()`, `.drain()`, `.into_keys()`, `.into_values()`, and
 /// `.retain()` (retain visits in iteration order and can observe shared
-/// state). Uses of a tainted map that never iterate — `get`, `insert`,
-/// `entry`, `contains_key`, `len` — are fine: lookups are order-free.
+/// state) — including iteration of a tainted function's return value,
+/// directly (`make_map().iter()`, `for … in make_map()`) or through a
+/// `let` binding. Uses of a tainted map that never iterate — `get`,
+/// `insert`, `entry`, `contains_key`, `len` — are fine: lookups are
+/// order-free.
 fn no_unordered_iteration(lexed: &LexedFile) -> Vec<Finding> {
     let toks = &lexed.tokens;
     let spans = test_spans(lexed);
     let mut tainted: BTreeSet<String> = BTreeSet::new();
+    let mut tainted_fns: BTreeSet<String> = BTreeSet::new();
 
     for (i, tok) in toks.iter().enumerate() {
         let Some(name) = ident(tok) else { continue };
@@ -194,6 +220,73 @@ fn no_unordered_iteration(lexed: &LexedFile) -> Vec<Finding> {
                 }
             }
         }
+        // `fn name(...) -> [&] [path::] HashMap<...>` — the function's
+        // return value carries the taint; call sites are tracked below.
+        // `k` has already stepped back over `&`/`mut`/lifetime tokens.
+        if k >= 4 && is_punct(&toks[k - 1], '>') && is_punct(&toks[k - 2], '-') {
+            let close = k - 3;
+            if is_punct(&toks[close], ')') {
+                if let Some(open) = open_of_balanced(toks, close, '(', ')') {
+                    let mut f = open;
+                    // Step back over generic parameters: `fn name<K, V>(..)`.
+                    if f >= 1 && is_punct(&toks[f - 1], '>') {
+                        if let Some(g) = open_of_balanced(toks, f - 1, '<', '>') {
+                            f = g;
+                        }
+                    }
+                    if f >= 2 && is_ident(&toks[f - 2], "fn") {
+                        if let Some(n) = ident(&toks[f - 1]) {
+                            tainted_fns.insert(n.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // A call to a tainted-returning function taints its `let` binding:
+    // `let [mut] groups = [recv. | path::] make_groups(...)`.
+    if !tainted_fns.is_empty() {
+        for (i, tok) in toks.iter().enumerate() {
+            let Some(name) = ident(tok) else { continue };
+            if !tainted_fns.contains(name) || !toks.get(i + 1).is_some_and(|t| is_punct(t, '(')) {
+                continue;
+            }
+            // Only the *bare* return value carries the taint; a trailing
+            // method call (`make_map(v).len()`) transforms it first.
+            let after = skip_balanced(toks, i + 1, '(', ')');
+            if toks.get(after).is_some_and(|t| is_punct(t, '.')) {
+                continue;
+            }
+            // Step back over the receiver chain / module path to the `=`.
+            let mut b = i;
+            loop {
+                if b >= 3
+                    && is_punct(&toks[b - 1], ':')
+                    && is_punct(&toks[b - 2], ':')
+                    && ident(&toks[b - 3]).is_some()
+                {
+                    b -= 3;
+                } else if b >= 2 && is_punct(&toks[b - 1], '.') && ident(&toks[b - 2]).is_some() {
+                    b -= 2;
+                } else {
+                    break;
+                }
+            }
+            if b >= 2 && is_punct(&toks[b - 1], '=') && ident(&toks[b - 2]).is_some() {
+                let n = ident(&toks[b - 2]).map(str::to_string);
+                let lhs = b - 2;
+                let is_let_binding = (lhs >= 1 && is_ident(&toks[lhs - 1], "let"))
+                    || (lhs >= 2
+                        && is_ident(&toks[lhs - 1], "mut")
+                        && is_ident(&toks[lhs - 2], "let"));
+                if is_let_binding {
+                    if let Some(n) = n {
+                        tainted.insert(n);
+                    }
+                }
+            }
+        }
     }
 
     const ITER_METHODS: &[&str] = &[
@@ -235,6 +328,30 @@ fn no_unordered_iteration(lexed: &LexedFile) -> Vec<Finding> {
                     ),
                 });
             }
+            // `make_map(...).iter()` — iterating the unordered collection a
+            // tainted function just returned, without a binding in between.
+            if tainted_fns.contains(name) && toks.get(i + 1).is_some_and(|t| is_punct(t, '(')) {
+                let after = skip_balanced(toks, i + 1, '(', ')');
+                if toks.get(after).is_some_and(|t| is_punct(t, '.'))
+                    && toks
+                        .get(after + 1)
+                        .and_then(ident)
+                        .is_some_and(|m| ITER_METHODS.contains(&m))
+                    && toks.get(after + 2).is_some_and(|t| is_punct(t, '('))
+                {
+                    let method = ident(&toks[after + 1]).unwrap_or_default();
+                    findings.push(Finding {
+                        path: String::new(),
+                        line: tok.line,
+                        rule: NO_UNORDERED_ITERATION,
+                        message: format!(
+                            "`{name}(…).{method}()` iterates the unordered collection `{name}` \
+                             returns; use BTreeMap/BTreeSet or collect-and-sort so results \
+                             cannot depend on hash order"
+                        ),
+                    });
+                }
+            }
         }
         // `for PAT in [&[mut]] tainted {`
         if is_ident(tok, "for") {
@@ -261,6 +378,24 @@ fn no_unordered_iteration(lexed: &LexedFile) -> Vec<Finding> {
                                  BTreeMap/BTreeSet or collect-and-sort first"
                             ),
                         });
+                    } else if tainted_fns.contains(name)
+                        && toks.get(k + 1).is_some_and(|t| is_punct(t, '('))
+                    {
+                        // `for … in make_map(...) {` — iterating a tainted
+                        // function's return value directly.
+                        let after = skip_balanced(toks, k + 1, '(', ')');
+                        if toks.get(after).is_some_and(|t| is_punct(t, '{')) {
+                            findings.push(Finding {
+                                path: String::new(),
+                                line: tok.line,
+                                rule: NO_UNORDERED_ITERATION,
+                                message: format!(
+                                    "`for … in {name}(…)` iterates the unordered collection \
+                                     `{name}` returns; use BTreeMap/BTreeSet or \
+                                     collect-and-sort first"
+                                ),
+                            });
+                        }
                     }
                 }
                 break;
@@ -400,11 +535,12 @@ fn panic_surface(lexed: &LexedFile) -> Vec<Finding> {
 }
 
 /// Keywords that can directly precede `[` without forming an index
-/// expression (`return [..]`, `break [..]`, `in [..]`, ...).
+/// expression (`return [..]`, `break [..]`, `in [..]`, `impl T for [..]`,
+/// ...).
 fn is_keyword(name: &str) -> bool {
     matches!(
         name,
-        "return" | "break" | "in" | "if" | "else" | "match" | "mut" | "ref" | "move" | "as"
+        "return" | "break" | "in" | "if" | "else" | "match" | "mut" | "ref" | "move" | "as" | "for"
     )
 }
 
@@ -517,6 +653,58 @@ mod tests {
         let f = run(NO_UNORDERED_ITERATION, src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn flags_iteration_of_tainted_fn_returns() {
+        let src = r#"
+            fn group_jobs(v: &[u32]) -> HashMap<u32, u32> { build(v) }
+            fn f(v: &[u32]) {
+                for (k, n) in group_jobs(v) { use_it(k, n) }   // flagged
+                let groups = group_jobs(v);
+                for (k, n) in groups { use_it(k, n) }          // flagged
+                let total: u32 = group_jobs(v).values().sum(); // flagged
+                let n = group_jobs(v).len();                   // lookup: fine
+            }
+        "#;
+        let f = run(NO_UNORDERED_ITERATION, src);
+        assert_eq!(f.len(), 3, "{f:#?}");
+        assert!(f.iter().any(|x| x.line == 4));
+        assert!(f.iter().any(|x| x.line == 6));
+        assert!(f.iter().any(|x| x.line == 7));
+    }
+
+    #[test]
+    fn fn_return_taint_handles_generics_paths_and_references() {
+        let src = r#"
+            fn dedup<T>(v: &[T]) -> std::collections::HashSet<u64> { build(v) }
+            impl Cache {
+                fn entries(&self) -> &HashMap<u64, u64> { &self.map }
+            }
+            fn f(v: &[u32], cache: &Cache) {
+                for h in dedup(v) { use_it(h) }                  // flagged
+                let snapshot = cache.entries();
+                for (k, n) in snapshot { use_it(k, n) }          // flagged
+            }
+        "#;
+        let f = run(NO_UNORDERED_ITERATION, src);
+        assert_eq!(f.len(), 2, "{f:#?}");
+        assert!(f.iter().any(|x| x.line == 7));
+        assert!(f.iter().any(|x| x.line == 9));
+    }
+
+    #[test]
+    fn ordered_returning_fn_is_clean() {
+        let src = r#"
+            fn ordered(v: &[u32]) -> BTreeMap<u32, u32> { build(v) }
+            fn tally(v: &[u32]) -> HashMap<u32, u32> { build(v) }
+            fn f(v: &[u32]) {
+                for (k, n) in ordered(v) { use_it(k, n) }  // BTreeMap: fine
+                let count = tally(v).len();                // lookup: fine
+                let hit = tally(v).get(&3).copied();       // lookup: fine
+            }
+        "#;
+        assert!(run(NO_UNORDERED_ITERATION, src).is_empty());
     }
 
     #[test]

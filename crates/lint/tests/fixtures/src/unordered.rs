@@ -15,3 +15,19 @@ pub fn flagged(map: &HashMap<String, u64>, set: &HashSet<u64>) -> u64 {
 pub fn legal(map: &HashMap<String, u64>) -> Option<u64> {
     map.get("answer").copied()
 }
+
+pub fn grouped(values: &[u64]) -> HashMap<u64, u64> {
+    values.iter().map(|&v| (v, v)).collect()
+}
+
+pub fn flagged_via_return(values: &[u64]) -> u64 {
+    let mut total = 0;
+    for (_key, value) in grouped(values) {
+        total += value;
+    }
+    total
+}
+
+pub fn legal_via_return(values: &[u64]) -> usize {
+    grouped(values).len()
+}

@@ -19,6 +19,7 @@
 //! | [`policies`] | FirstFit, CacheSack-style heuristic, ML lifetime baseline |
 //! | [`core`] | category labels, category models, Algorithm 1, BYOM pipeline |
 //! | [`chaos`] | seeded fault injection and the graceful-degradation harness |
+//! | [`exec`] | persistent work-stealing pool and deterministic parallel executor |
 //!
 //! ## Quickstart
 //!
@@ -48,10 +49,23 @@
 //!
 //! ## Running experiments in parallel
 //!
-//! Training and the experiment sweeps are embarrassingly parallel, and every
-//! parallel entry point is **deterministic**: any `parallelism` setting
-//! produces bit-identical models and results (`0` = all available cores,
-//! `1` = fully sequential).
+//! All parallelism runs on **one persistent work-stealing pool**
+//! ([`exec`]): the first parallel call spawns it, and every layer —
+//! per-class tree fitting, feature-parallel split search, cluster/quota
+//! sweeps, the resilience sweep — schedules onto the same workers instead
+//! of spawning scoped threads per call. Nested fan-outs therefore share a
+//! **single thread budget** rather than multiplying:
+//!
+//! * `0` = inherit the ambient budget (`BYOM_THREADS` if set, otherwise all
+//!   available cores),
+//! * `n` = cap the subtree at `n` threads (budgets only shrink with
+//!   nesting),
+//! * `1` = strictly sequential at every nesting level.
+//!
+//! Every parallel entry point is **deterministic**: work is split into
+//! fixed index ranges and results are slotted by index, so any budget,
+//! worker count, or steal schedule produces bit-identical models and
+//! results.
 //!
 //! * [`ByomPipeline`](byom_core::ByomPipeline) takes a
 //!   `.parallelism(n)` builder knob; the per-class trees of each boosting
@@ -59,9 +73,13 @@
 //!   candidates feature-parallel
 //!   ([`GbdtParams::parallelism`](byom_gbdt::GbdtParams)).
 //! * `byom_bench::run_clusters_parallel` fans a per-cluster experiment out
-//!   across cores, and `byom_bench::run_quotas_parallel` sweeps the quota
-//!   operating points of one prepared context — both return exactly what the
-//!   sequential loop they replace would.
+//!   across the pool, `byom_bench::run_quotas_parallel` sweeps the quota
+//!   operating points of one prepared context, and
+//!   `byom_bench::run_resilience_sweep` fans out its fault intensities —
+//!   each returns exactly what the sequential loop it replaces would.
+//! * [`exec::install`](byom_exec::install)`(n, f)` pins the budget for
+//!   everything `f` does; [`exec::join`](byom_exec::join) and the
+//!   `par_iter()` surface compose freely beneath it.
 //! * Repeated trace generations with the same `(seed, spec, duration)` are
 //!   deduplicated process-wide by
 //!   [`TraceGenerator::generate_cached`](byom_trace::TraceGenerator::generate_cached),
@@ -88,7 +106,9 @@
 //! ```
 //!
 //! `cargo bench -p byom_bench --bench parallel` reports the wall-clock
-//! speedup of both levels on the current machine.
+//! speedup of both levels on the current machine, and `cargo bench -p
+//! byom_bench --bench pool` compares the persistent pool's per-call
+//! overhead against spawning scoped threads per call.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -96,6 +116,7 @@
 pub use byom_chaos as chaos;
 pub use byom_core as core;
 pub use byom_cost as cost;
+pub use byom_exec as exec;
 pub use byom_gbdt as gbdt;
 pub use byom_policies as policies;
 pub use byom_sim as sim;

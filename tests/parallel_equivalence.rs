@@ -128,3 +128,94 @@ fn quota_fanout_matches_sequential_loop() {
     let parallel = run_quotas_parallel(&ctx, &quotas, true, 3);
     assert_eq!(sequential, parallel);
 }
+
+#[test]
+fn nested_cluster_quota_fanout_matches_sequential_loops() {
+    // Clusters fan out in parallel and each cluster sweeps its quotas in
+    // parallel — the exact nesting that used to spawn threads × threads
+    // scoped workers. On the shared pool the nested sweep must still be
+    // byte-identical to two sequential loops.
+    let specs = vec![ClusterSpec::balanced(33), ClusterSpec::balanced(34)];
+    let quotas = [0.05, 0.2];
+    let sequential: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            let ctx = ExperimentContext::prepare(spec.clone(), quick_params());
+            quotas
+                .iter()
+                .map(|&q| ctx.run_all_methods(q, false))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let nested = run_clusters_parallel(&specs, 2, |_, spec| {
+        let ctx = ExperimentContext::prepare(spec.clone(), quick_params());
+        run_quotas_parallel(&ctx, &quotas, false, 2)
+    });
+    assert_eq!(sequential, nested);
+}
+
+#[test]
+fn resilience_sweep_is_identical_for_any_parallelism() {
+    let sweep_at = |parallelism: usize| {
+        let params = ExperimentParams {
+            train_hours: 6.0,
+            test_hours: 6.0,
+            num_categories: 4,
+            gbdt_trees: 6,
+            parallelism,
+            ..Default::default()
+        };
+        let ctx = ExperimentContext::prepare(ClusterSpec::balanced(35), params);
+        byom_bench::run_resilience_sweep(&ctx, 0.05, 42, &[0.0, 0.5, 1.0])
+    };
+    let sequential = sweep_at(1);
+    let parallel = sweep_at(4);
+    assert_eq!(sequential.unfaulted, parallel.unfaulted);
+    assert_eq!(sequential.points, parallel.points);
+}
+
+#[test]
+fn parallelism_one_is_strictly_sequential_at_every_nesting_level() {
+    // The old shim resolved `0` to "all cores" inside nested calls even when
+    // the experiment asked for 1 thread. With the unified executor, a budget
+    // of 1 must hold all the way down: every nested closure runs on the
+    // calling thread.
+    use byom::exec::prelude::*;
+    let caller = std::thread::current().id();
+    let ids = byom::exec::install(1, || {
+        run_clusters_parallel(&[ClusterSpec::balanced(36)], 0, |_, _| {
+            (0..8)
+                .into_par_iter()
+                .with_max_threads(4)
+                .map(|_| {
+                    let inner: Vec<std::thread::ThreadId> = (0..4)
+                        .into_par_iter()
+                        .with_max_threads(4)
+                        .map(|_| std::thread::current().id())
+                        .collect();
+                    (std::thread::current().id(), inner)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    for per_cluster in ids {
+        for (outer, inner) in per_cluster {
+            assert_eq!(outer, caller);
+            for id in inner {
+                assert_eq!(id, caller);
+            }
+        }
+    }
+}
+
+#[test]
+fn join_matches_running_both_closures() {
+    let (a, b) = byom::exec::install(4, || {
+        byom::exec::join(
+            || (0..100).map(|i| i * 3).sum::<usize>(),
+            || (0..100).map(|i| i * 7).sum::<usize>(),
+        )
+    });
+    assert_eq!(a, (0..100).map(|i| i * 3).sum::<usize>());
+    assert_eq!(b, (0..100).map(|i| i * 7).sum::<usize>());
+}
