@@ -13,6 +13,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod harness;
+pub mod legacy_tree;
 pub mod report;
 pub mod resilience;
 

@@ -22,9 +22,24 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-/// Target chunks per participating thread: enough slack that uneven item
-/// costs rebalance, few enough that per-chunk bookkeeping stays cheap.
-const CHUNKS_PER_THREAD: usize = 4;
+/// Upper bound on chunks per participating thread for large fan-outs, so
+/// per-chunk bookkeeping stays cheap once items vastly outnumber workers.
+const MAX_CHUNKS_PER_THREAD: usize = 16;
+
+/// Adaptive chunk size for a fan-out of `len` items over `width` threads.
+///
+/// Small fan-outs (up to `width × MAX_CHUNKS_PER_THREAD` items) get one item
+/// per chunk: a single expensive item — e.g. one huge cluster among many
+/// small ones — can then never tail-block a chunk's worth of cheap siblings
+/// behind it. Larger fan-outs cap the chunk count at that same bound so
+/// claim-lock traffic stays proportional to the worker count, not the item
+/// count. Chunk geometry is a pure function of `(len, width)` and results
+/// are merged by chunk slot, so the output stays byte-identical to
+/// sequential execution for any steal schedule.
+fn chunk_size_for(len: usize, width: usize) -> usize {
+    let max_chunks = width.saturating_mul(MAX_CHUNKS_PER_THREAD).max(1);
+    len.div_ceil(max_chunks).max(1)
+}
 
 fn relock<'a, T>(
     r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
@@ -214,7 +229,7 @@ where
     F: Fn(usize) -> U + Sync,
 {
     debug_assert!(width >= 2 && len >= 2);
-    let chunk_size = len.div_ceil(width * CHUNKS_PER_THREAD).max(1);
+    let chunk_size = chunk_size_for(len, width);
     let chunks = len.div_ceil(chunk_size);
     let shared = Arc::new(JobShared::new(
         chunks,
@@ -329,6 +344,34 @@ where
                 .take()
                 .unwrap_or_else(|| unreachable!("join quiesced without running `b`"));
             (ra, rb)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{chunk_size_for, MAX_CHUNKS_PER_THREAD};
+
+    #[test]
+    fn small_fanouts_get_one_item_per_chunk() {
+        for width in 2..=8 {
+            for len in 2..=width * MAX_CHUNKS_PER_THREAD {
+                assert_eq!(chunk_size_for(len, width), 1, "len={len} width={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_fanouts_cap_the_chunk_count() {
+        for &(len, width) in &[(10_000usize, 4usize), (65_537, 8), (1_000_000, 16)] {
+            let size = chunk_size_for(len, width);
+            let chunks = len.div_ceil(size);
+            assert!(
+                chunks <= width * MAX_CHUNKS_PER_THREAD,
+                "len={len} width={width}"
+            );
+            // Still enough chunks for uneven item costs to rebalance.
+            assert!(chunks > width, "len={len} width={width}");
         }
     }
 }

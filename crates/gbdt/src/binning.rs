@@ -7,6 +7,7 @@
 //! implementations (LightGBM, XGBoost `hist`, YDF).
 
 use crate::dataset::Dataset;
+use crate::histogram::BinnedMatrix;
 use serde::{Deserialize, Serialize};
 
 /// Maps raw feature values to discrete bin indices per feature.
@@ -27,8 +28,12 @@ impl BinMapper {
         assert!(max_bins >= 2, "need at least 2 bins");
         let n = data.len();
         let mut edges = Vec::with_capacity(data.num_features());
+        // One sort scratch reused across features: `clear` keeps the
+        // allocation, so fitting F features costs one buffer, not F.
+        let mut col: Vec<f64> = Vec::with_capacity(n);
         for f in 0..data.num_features() {
-            let mut col: Vec<f64> = (0..n).map(|i| data.value(i, f)).collect();
+            col.clear();
+            col.extend((0..n).map(|i| data.value(i, f)));
             col.sort_by(|a, b| a.total_cmp(b));
             col.dedup();
             let feature_edges = if col.len() <= max_bins {
@@ -83,16 +88,12 @@ impl BinMapper {
         e.partition_point(|&edge| edge < v)
     }
 
-    /// Pre-bin an entire dataset: returns a row-major matrix of bin indices
-    /// (`u16`, so up to 65k bins per feature).
-    pub fn bin_dataset(&self, data: &Dataset) -> Vec<u16> {
-        let mut out = Vec::with_capacity(data.len() * data.num_features());
-        for i in 0..data.len() {
-            for f in 0..data.num_features() {
-                out.push(self.bin(f, data.value(i, f)) as u16);
-            }
-        }
-        out
+    /// Pre-bin an entire dataset into a column-major [`BinnedMatrix`] of
+    /// bin indices (`u16`, so up to 65k bins per feature). Per-feature
+    /// histogram fills then walk one contiguous column instead of striding
+    /// across every row.
+    pub fn bin_dataset(&self, data: &Dataset) -> BinnedMatrix {
+        BinnedMatrix::from_dataset(self, data)
     }
 }
 
@@ -152,10 +153,12 @@ mod tests {
         .unwrap();
         let m = BinMapper::fit(&d, 8);
         let binned = m.bin_dataset(&d);
-        assert_eq!(binned.len(), 50 * 2);
+        assert_eq!(binned.num_rows(), 50);
+        assert_eq!(binned.num_features(), 2);
         for i in 0..50 {
             for f in 0..2 {
-                assert!((binned[i * 2 + f] as usize) < m.num_bins(f));
+                assert!((binned.bin(i, f) as usize) < m.num_bins(f));
+                assert_eq!(binned.bin(i, f) as usize, m.bin(f, d.value(i, f)));
             }
         }
     }

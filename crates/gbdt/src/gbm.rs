@@ -224,24 +224,29 @@ impl GradientBoostedTrees {
                         grad[i] = p - y;
                         hess[i] = (p * (1.0 - p)).max(1e-6);
                     }
-                    let tree = Tree::fit_with_parallelism(
+                    // `fit_scored` also harvests every training row's leaf
+                    // value from the partition the fit computes anyway, so
+                    // the training-score update below is one add per row
+                    // with no tree walk — bit-identical to re-traversing.
+                    let fit = Tree::fit_scored(
                         &binned,
-                        train.num_features(),
                         &mapper,
                         &grad,
                         &hess,
                         sample,
                         params.tree,
                         // Inherit this fan-out's budget (0 = ambient): nested
-                        // split searches share the round's thread quota.
+                        // histogram fills share the round's thread quota.
                         0,
                     );
-                    let train_preds: Vec<f64> =
-                        (0..n).map(|i| tree.predict_row(train.row(i))).collect();
                     let valid_preds: Vec<f64> = valid
-                        .map(|v| (0..v.len()).map(|i| tree.predict_row(v.row(i))).collect())
+                        .map(|v| {
+                            (0..v.len())
+                                .map(|i| fit.tree.predict_row(v.row(i)))
+                                .collect()
+                        })
                         .unwrap_or_default();
-                    (tree, train_preds, valid_preds)
+                    (fit.tree, fit.row_values, valid_preds)
                 })
                 .collect();
 

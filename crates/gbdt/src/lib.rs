@@ -37,6 +37,7 @@ pub mod binning;
 pub mod dataset;
 pub mod error;
 pub mod gbm;
+pub mod histogram;
 pub mod importance;
 pub mod metrics;
 pub mod tree;
@@ -45,6 +46,7 @@ pub use binning::BinMapper;
 pub use dataset::Dataset;
 pub use error::GbdtError;
 pub use gbm::{GbdtParams, GradientBoostedTrees, TrainReport};
+pub use histogram::{BinnedMatrix, FeatureLayout, HistBin, HistogramMode, HistogramPool};
 pub use importance::{auc_drop_importance, split_gain_importance};
 pub use metrics::{accuracy, binary_auc, confusion_matrix, log_loss, top_k_accuracy};
-pub use tree::{Node, Tree, TreeParams};
+pub use tree::{Node, ScoredFit, Tree, TreeParams};

@@ -3,16 +3,18 @@
 //! Trees are grown greedily and depth-first using per-feature histograms of
 //! first- and second-order gradient sums ("histogram split finding"). Leaf
 //! values use the standard second-order (Newton) estimate `-G / (H + λ)`.
+//!
+//! The histogram hot path runs on the engine in [`crate::histogram`]:
+//! column-major bins, pooled buffers, and (by default) the sibling
+//! subtraction trick — see [`HistogramMode`] for the two build strategies
+//! and their determinism contract.
 
 use crate::binning::BinMapper;
-use byom_exec::prelude::*;
+use crate::histogram::{
+    fill_histogram, subtract_sibling, BinnedMatrix, FeatureLayout, HistBin, HistogramMode,
+    HistogramPool,
+};
 use serde::{Deserialize, Serialize};
-
-/// Below this many rows a node's split search runs sequentially even when
-/// parallelism is enabled: the histogram work is too small to amortize the
-/// cost of fanning out across threads (deep nodes dominate the node count but
-/// not the runtime).
-const PARALLEL_SPLIT_MIN_ROWS: usize = 512;
 
 /// Hyperparameters of a single tree.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -25,6 +27,10 @@ pub struct TreeParams {
     pub l2_lambda: f64,
     /// Minimum split gain required to split a node (γ).
     pub min_split_gain: f64,
+    /// How per-node histograms are built (see [`HistogramMode`]). The
+    /// default, [`HistogramMode::Subtraction`], halves histogram work per
+    /// level; [`HistogramMode::Rebuild`] is the bit-exact reference path.
+    pub histogram_mode: HistogramMode,
 }
 
 impl Default for TreeParams {
@@ -34,6 +40,7 @@ impl Default for TreeParams {
             min_samples_leaf: 5,
             l2_lambda: 1.0,
             min_split_gain: 1e-6,
+            histogram_mode: HistogramMode::default(),
         }
     }
 }
@@ -68,14 +75,29 @@ pub struct Tree {
     nodes: Vec<Node>,
 }
 
+/// A fitted tree plus the leaf value assigned to every row of the binned
+/// matrix, harvested from the row partition the fit computes anyway.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredFit {
+    /// The fitted tree.
+    pub tree: Tree,
+    /// `row_values[i]` is the value of the leaf row `i` lands in — for
+    /// **all** rows of the binned matrix, not just the fitted subsample.
+    /// Boosting score updates become one add per row with no tree walk;
+    /// the values are bit-identical to walking the fitted tree with
+    /// [`Tree::predict_row`] on the raw features.
+    pub row_values: Vec<f64>,
+}
+
 struct FitContext<'a> {
-    binned: &'a [u16],
-    num_features: usize,
+    binned: &'a BinnedMatrix,
     mapper: &'a BinMapper,
+    layout: FeatureLayout,
     grad: &'a [f64],
     hess: &'a [f64],
     params: TreeParams,
-    /// Worker threads for the per-feature split search (1 = sequential).
+    /// Worker threads for the per-node column-parallel histogram fill
+    /// (1 = sequential).
     parallelism: usize,
 }
 
@@ -89,40 +111,37 @@ impl Tree {
     /// Fit a tree to the gradient/hessian statistics of the rows listed in
     /// `rows`.
     ///
-    /// * `binned` is the row-major matrix of bin indices produced by
+    /// * `binned` is the column-major bin matrix produced by
     ///   [`BinMapper::bin_dataset`].
     /// * `grad`/`hess` are per-row first/second order derivatives of the loss.
     ///
     /// # Panics
     /// Panics if `rows` is empty or the inputs disagree on the number of rows.
     pub fn fit(
-        binned: &[u16],
-        num_features: usize,
+        binned: &BinnedMatrix,
         mapper: &BinMapper,
         grad: &[f64],
         hess: &[f64],
         rows: &[usize],
         params: TreeParams,
     ) -> Tree {
-        Self::fit_with_parallelism(binned, num_features, mapper, grad, hess, rows, params, 1)
+        Self::fit_with_parallelism(binned, mapper, grad, hess, rows, params, 1)
     }
 
-    /// Like [`Tree::fit`], but searching split candidates across features on
-    /// up to `parallelism` threads of the shared executor pool (`0` =
-    /// inherit the ambient thread budget, `1` = strictly sequential —
-    /// including any parallelism nested below this call).
+    /// Like [`Tree::fit`], but filling each node's per-feature histograms
+    /// column-parallel on up to `parallelism` threads of the shared executor
+    /// pool (`0` = inherit the ambient thread budget, `1` = strictly
+    /// sequential — including any parallelism nested below this call).
     ///
-    /// The result is **bit-identical** to the sequential fit: each feature's
-    /// candidate is computed by the same scan, and candidates are reduced in
-    /// feature order with a strict `>` comparison, so ties break toward the
-    /// lowest feature index exactly as the sequential loop does.
+    /// The result is **bit-identical** to the sequential fit: each feature
+    /// column is filled in row order by exactly one task and the per-feature
+    /// histograms are reduced in feature order, so no float accumulation
+    /// order depends on the thread count or steal schedule.
     ///
     /// # Panics
     /// Panics if `rows` is empty or the inputs disagree on the number of rows.
-    #[allow(clippy::too_many_arguments)]
     pub fn fit_with_parallelism(
-        binned: &[u16],
-        num_features: usize,
+        binned: &BinnedMatrix,
         mapper: &BinMapper,
         grad: &[f64],
         hess: &[f64],
@@ -130,17 +149,52 @@ impl Tree {
         params: TreeParams,
         parallelism: usize,
     ) -> Tree {
+        Self::fit_impl(binned, mapper, grad, hess, rows, params, parallelism, false).tree
+    }
+
+    /// Like [`Tree::fit_with_parallelism`], but additionally returning the
+    /// fitted leaf value of **every** row of `binned` (not just `rows`),
+    /// harvested by threading a second index partition through the same
+    /// splits the fit performs. See [`ScoredFit`].
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or the inputs disagree on the number of rows.
+    pub fn fit_scored(
+        binned: &BinnedMatrix,
+        mapper: &BinMapper,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        params: TreeParams,
+        parallelism: usize,
+    ) -> ScoredFit {
+        Self::fit_impl(binned, mapper, grad, hess, rows, params, parallelism, true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fit_impl(
+        binned: &BinnedMatrix,
+        mapper: &BinMapper,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        params: TreeParams,
+        parallelism: usize,
+        track_all_rows: bool,
+    ) -> ScoredFit {
         assert!(!rows.is_empty(), "cannot fit a tree on zero rows");
         assert_eq!(grad.len(), hess.len(), "grad and hess must be parallel");
         assert_eq!(
-            binned.len(),
-            grad.len() * num_features,
+            binned.num_rows(),
+            grad.len(),
             "binned matrix shape mismatch"
         );
+        let layout = FeatureLayout::from_mapper(mapper);
+        let mut pool = HistogramPool::new(layout.clone());
         let ctx = FitContext {
             binned,
-            num_features,
             mapper,
+            layout,
             grad,
             hess,
             params,
@@ -148,12 +202,43 @@ impl Tree {
         };
         let mut tree = Tree { nodes: Vec::new() };
         let mut rows_owned: Vec<usize> = rows.to_vec();
-        tree.build_node(&ctx, &mut rows_owned, 0);
-        tree
+        let (mut tracked, mut row_values) = if track_all_rows {
+            (
+                (0..binned.num_rows()).collect(),
+                vec![0.0; binned.num_rows()],
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        tree.build_node(
+            &ctx,
+            &mut pool,
+            &mut rows_owned,
+            &mut tracked,
+            None,
+            0,
+            &mut row_values,
+        );
+        ScoredFit { tree, row_values }
     }
 
     /// Recursively build the subtree for `rows`, returning the node index.
-    fn build_node(&mut self, ctx: &FitContext<'_>, rows: &mut [usize], depth: usize) -> usize {
+    ///
+    /// `hist` is this node's histogram when the parent already produced it
+    /// (subtraction mode); `None` means "build from `rows` if a split will
+    /// actually be searched". `tracked` carries the full-training-set row
+    /// partition for [`Tree::fit_scored`] (empty when not tracking).
+    #[allow(clippy::too_many_arguments)]
+    fn build_node(
+        &mut self,
+        ctx: &FitContext<'_>,
+        pool: &mut HistogramPool,
+        rows: &mut [usize],
+        tracked: &mut [usize],
+        hist: Option<Vec<HistBin>>,
+        depth: usize,
+        row_values: &mut [f64],
+    ) -> usize {
         let (g_sum, h_sum) = rows.iter().fold((0.0, 0.0), |(g, h), &i| {
             (
                 g + ctx.grad.get(i).copied().unwrap_or(0.0),
@@ -173,10 +258,36 @@ impl Tree {
         });
 
         if depth >= ctx.params.max_depth || rows.len() < 2 * ctx.params.min_samples_leaf {
+            Self::record_leaf(tracked, leaf_value, row_values);
+            if let Some(h) = hist {
+                pool.release(h);
+            }
             return node_idx;
         }
 
-        let Some(best) = Self::find_best_split(ctx, rows, g_sum, h_sum) else {
+        // This node's histogram: handed down by the parent in subtraction
+        // mode, otherwise built from this node's rows (column-parallel for
+        // large nodes).
+        let mut hist = match hist {
+            Some(h) => h,
+            None => {
+                let mut h = pool.acquire();
+                fill_histogram(
+                    &mut h,
+                    &ctx.layout,
+                    ctx.binned,
+                    ctx.grad,
+                    ctx.hess,
+                    rows,
+                    ctx.parallelism,
+                );
+                h
+            }
+        };
+
+        let Some(best) = Self::best_split(ctx, &hist, rows.len(), g_sum, h_sum) else {
+            Self::record_leaf(tracked, leaf_value, row_values);
+            pool.release(hist);
             return node_idx;
         };
 
@@ -184,30 +295,92 @@ impl Tree {
         // permutation is part of the determinism contract (row order feeds
         // the children's float accumulations), so this stays a swap loop.
         let threshold = ctx.mapper.edge(best.feature, best.bin);
-        let mut split_point = 0;
-        for i in 0..rows.len() {
-            let row = rows.get(i).copied().unwrap_or(0);
-            let bin = ctx
-                .binned
-                .get(row * ctx.num_features + best.feature)
-                .copied()
-                .unwrap_or(0) as usize;
-            if bin <= best.bin {
-                rows.swap(i, split_point);
-                split_point += 1;
-            }
-        }
+        let column = ctx.binned.column(best.feature);
+        let split_point = Self::partition(rows, column, best.bin);
         if split_point == 0
             || split_point == rows.len()
             || split_point < ctx.params.min_samples_leaf
             || rows.len() - split_point < ctx.params.min_samples_leaf
         {
+            Self::record_leaf(tracked, leaf_value, row_values);
+            pool.release(hist);
             return node_idx;
         }
+        let tracked_split = Self::partition(tracked, column, best.bin);
 
         let (left_rows, right_rows) = rows.split_at_mut(split_point);
-        let left_idx = self.build_node(ctx, left_rows, depth + 1);
-        let right_idx = self.build_node(ctx, right_rows, depth + 1);
+        let (left_tracked, right_tracked) = tracked.split_at_mut(tracked_split);
+
+        // Child histograms. Rebuild mode: children refill from their own
+        // rows. Subtraction mode: fill only the smaller child and derive
+        // the sibling as `parent − child` in the parent's buffer — unless
+        // neither child can split, in which case no histogram is needed.
+        let (left_hist, right_hist) = match ctx.params.histogram_mode {
+            HistogramMode::Rebuild => {
+                pool.release(hist);
+                (None, None)
+            }
+            HistogramMode::Subtraction => {
+                let left_splits = Self::may_split(ctx, left_rows.len(), depth + 1);
+                let right_splits = Self::may_split(ctx, right_rows.len(), depth + 1);
+                if !left_splits && !right_splits {
+                    pool.release(hist);
+                    (None, None)
+                } else {
+                    let (small_rows, small_is_left) = if left_rows.len() <= right_rows.len() {
+                        (&*left_rows, true)
+                    } else {
+                        (&*right_rows, false)
+                    };
+                    let mut small = pool.acquire();
+                    fill_histogram(
+                        &mut small,
+                        &ctx.layout,
+                        ctx.binned,
+                        ctx.grad,
+                        ctx.hess,
+                        small_rows,
+                        ctx.parallelism,
+                    );
+                    subtract_sibling(&mut hist, &small);
+                    let (mut lh, mut rh) = if small_is_left {
+                        (Some(small), Some(hist))
+                    } else {
+                        (Some(hist), Some(small))
+                    };
+                    if !left_splits {
+                        if let Some(h) = lh.take() {
+                            pool.release(h);
+                        }
+                    }
+                    if !right_splits {
+                        if let Some(h) = rh.take() {
+                            pool.release(h);
+                        }
+                    }
+                    (lh, rh)
+                }
+            }
+        };
+
+        let left_idx = self.build_node(
+            ctx,
+            pool,
+            left_rows,
+            left_tracked,
+            left_hist,
+            depth + 1,
+            row_values,
+        );
+        let right_idx = self.build_node(
+            ctx,
+            pool,
+            right_rows,
+            right_tracked,
+            right_hist,
+            depth + 1,
+            row_values,
+        );
 
         if let Some(node) = self.nodes.get_mut(node_idx) {
             node.feature = best.feature as u32;
@@ -219,103 +392,86 @@ impl Tree {
         node_idx
     }
 
-    fn find_best_split(
-        ctx: &FitContext<'_>,
-        rows: &[usize],
-        g_total: f64,
-        h_total: f64,
-    ) -> Option<BestSplit> {
-        if ctx.parallelism > 1 && rows.len() >= PARALLEL_SPLIT_MIN_ROWS && ctx.num_features > 1 {
-            // Each feature's candidate is independent; reduce in feature order
-            // with a strict `>` so the winner matches the sequential loop
-            // bit-for-bit (ties break toward the lowest feature index).
-            let candidates: Vec<Option<BestSplit>> = (0..ctx.num_features)
-                .into_par_iter()
-                .with_max_threads(ctx.parallelism)
-                .map(|f| Self::feature_best_split(ctx, rows, f, g_total, h_total))
-                .collect();
-            let mut best: Option<BestSplit> = None;
-            for candidate in candidates.into_iter().flatten() {
-                if best.as_ref().is_none_or(|s| candidate.gain > s.gain) {
-                    best = Some(candidate);
-                }
+    /// Whether a child with `num_rows` rows at `depth` will search a split
+    /// (the exact complement of the leaf early-outs at node entry) — and
+    /// therefore whether it needs a histogram at all.
+    fn may_split(ctx: &FitContext<'_>, num_rows: usize, depth: usize) -> bool {
+        depth < ctx.params.max_depth && num_rows >= 2 * ctx.params.min_samples_leaf
+    }
+
+    /// Swap-partition `rows` so indices whose bin in `column` is
+    /// `<= split_bin` come first; returns the split point. The swap
+    /// permutation is deterministic and shared by the sample and tracked
+    /// partitions.
+    fn partition(rows: &mut [usize], column: &[u16], split_bin: usize) -> usize {
+        let mut split_point = 0;
+        for i in 0..rows.len() {
+            let row = rows.get(i).copied().unwrap_or(0);
+            let bin = column.get(row).copied().unwrap_or(0) as usize;
+            if bin <= split_bin {
+                rows.swap(i, split_point);
+                split_point += 1;
             }
-            best
-        } else {
-            let mut best: Option<BestSplit> = None;
-            for f in 0..ctx.num_features {
-                let Some(candidate) = Self::feature_best_split(ctx, rows, f, g_total, h_total)
-                else {
-                    continue;
-                };
-                if best.as_ref().is_none_or(|s| candidate.gain > s.gain) {
-                    best = Some(candidate);
-                }
+        }
+        split_point
+    }
+
+    /// Record `value` as the fitted leaf value of every tracked row.
+    fn record_leaf(tracked: &[usize], value: f64, row_values: &mut [f64]) {
+        for &i in tracked {
+            if let Some(slot) = row_values.get_mut(i) {
+                *slot = value;
             }
-            best
         }
     }
 
-    /// The best split candidate considering only feature `f`, or `None` if no
-    /// split on `f` clears `min_split_gain` and the leaf-size constraints.
-    fn feature_best_split(
+    /// The best split across all features, scanning the node's histogram.
+    /// Features and bins are visited in order with a strict `>` comparison,
+    /// so ties break toward the lowest feature index then the lowest bin —
+    /// exactly as the pre-engine per-feature loop did.
+    fn best_split(
         ctx: &FitContext<'_>,
-        rows: &[usize],
-        f: usize,
+        hist: &[HistBin],
+        num_rows: usize,
         g_total: f64,
         h_total: f64,
     ) -> Option<BestSplit> {
         let lambda = ctx.params.l2_lambda;
         let parent_score = g_total * g_total / (h_total + lambda);
-        let num_bins = ctx.mapper.num_bins(f);
-        if num_bins < 2 {
-            return None;
-        }
-        // Histogram of gradient statistics per bin: one `(grad, hess, count)`
-        // slot per bin, filled in row order so the float accumulation order —
-        // and therefore the fitted tree — is bit-identical to the original
-        // three-array fill. Bins come from `BinMapper` and are `< num_bins`
-        // by construction; rows are validated against `grad`/`hess` at fit
-        // entry, so the `get` lookups never actually miss.
-        let mut hist = vec![(0.0f64, 0.0f64, 0usize); num_bins];
-        for &i in rows {
-            let b = ctx
-                .binned
-                .get(i * ctx.num_features + f)
-                .copied()
-                .unwrap_or(0) as usize;
-            if let (Some(slot), Some(&g), Some(&h)) =
-                (hist.get_mut(b), ctx.grad.get(i), ctx.hess.get(i))
-            {
-                slot.0 += g;
-                slot.1 += h;
-                slot.2 += 1;
-            }
-        }
-        // Scan split points (split after bin b: left = bins 0..=b).
         let mut best: Option<BestSplit> = None;
-        let mut g_left = 0.0;
-        let mut h_left = 0.0;
-        let mut c_left = 0usize;
-        for (b, &(g_bin, h_bin, c_bin)) in hist.iter().enumerate().take(num_bins - 1) {
-            g_left += g_bin;
-            h_left += h_bin;
-            c_left += c_bin;
-            let c_right = rows.len() - c_left;
-            if c_left < ctx.params.min_samples_leaf || c_right < ctx.params.min_samples_leaf {
+        for f in 0..ctx.layout.num_features() {
+            let Some(bins) = hist.get(ctx.layout.feature_range(f)) else {
+                continue;
+            };
+            if bins.len() < 2 {
                 continue;
             }
-            let g_right = g_total - g_left;
-            let h_right = h_total - h_left;
-            let gain = 0.5
-                * (g_left * g_left / (h_left + lambda) + g_right * g_right / (h_right + lambda)
-                    - parent_score);
-            if gain > ctx.params.min_split_gain && best.as_ref().is_none_or(|s| gain > s.gain) {
-                best = Some(BestSplit {
-                    feature: f,
-                    bin: b,
-                    gain,
-                });
+            // Scan split points (split after bin b: left = bins 0..=b).
+            let mut g_left = 0.0;
+            let mut h_left = 0.0;
+            let mut c_left = 0usize;
+            let last = bins.len() - 1;
+            for (b, bin) in bins.iter().enumerate().take(last) {
+                g_left += bin.grad;
+                h_left += bin.hess;
+                c_left += bin.count as usize;
+                let c_right = num_rows.saturating_sub(c_left);
+                if c_left < ctx.params.min_samples_leaf || c_right < ctx.params.min_samples_leaf {
+                    continue;
+                }
+                let g_right = g_total - g_left;
+                let h_right = h_total - h_left;
+                let gain = 0.5
+                    * (g_left * g_left / (h_left + lambda)
+                        + g_right * g_right / (h_right + lambda)
+                        - parent_score);
+                if gain > ctx.params.min_split_gain && best.as_ref().is_none_or(|s| gain > s.gain) {
+                    best = Some(BestSplit {
+                        feature: f,
+                        bin: b,
+                        gain,
+                    });
+                }
             }
         }
         best
@@ -323,18 +479,28 @@ impl Tree {
 
     /// Predict the tree's output for one raw (unbinned) feature row.
     ///
+    /// Features the row is too short to provide compare as missing and
+    /// follow the right branch; callers that want an error instead should
+    /// validate the row length first (the GBDT layer's `try_predict*` APIs
+    /// do).
+    ///
     /// # Panics
-    /// Panics if the tree is empty (never fitted) or the row is shorter than
-    /// a feature index used by the tree.
+    /// Panics if the tree is empty (never fitted).
     pub fn predict_row(&self, row: &[f64]) -> f64 {
         assert!(!self.nodes.is_empty(), "tree has no nodes");
         let mut idx = 0usize;
         loop {
-            let node = &self.nodes[idx];
+            let Some(node) = self.nodes.get(idx) else {
+                // Child indices are produced by `build_node` and always
+                // point into `nodes`; a malformed hand-built tree is the
+                // only way here.
+                unreachable!("tree walk reached node index {idx} out of bounds");
+            };
             if node.is_leaf() {
                 return node.value;
             }
-            idx = if row[node.feature as usize] <= node.threshold {
+            let value = row.get(node.feature as usize).copied().unwrap_or(f64::NAN);
+            idx = if value <= node.threshold {
                 node.left as usize
             } else {
                 node.right as usize
@@ -404,15 +570,7 @@ mod tests {
         let grad: Vec<f64> = ys.iter().map(|y| -y).collect();
         let hess = vec![1.0; ys.len()];
         let rows: Vec<usize> = (0..ys.len()).collect();
-        let tree = Tree::fit(
-            &binned,
-            data.num_features(),
-            &mapper,
-            &grad,
-            &hess,
-            &rows,
-            params,
-        );
+        let tree = Tree::fit(&binned, &mapper, &grad, &hess, &rows, params);
         (tree, data)
     }
 
@@ -512,20 +670,85 @@ mod tests {
     }
 
     #[test]
+    fn both_modes_learn_the_same_structure() {
+        let xs: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![(i % 37) as f64, (i % 11) as f64])
+            .collect();
+        let ys: Vec<f64> = (0..300)
+            .map(|i| ((i % 37) as f64 * 0.3 - (i % 11) as f64).tanh())
+            .collect();
+        let sub = TreeParams {
+            histogram_mode: HistogramMode::Subtraction,
+            ..Default::default()
+        };
+        let reb = TreeParams {
+            histogram_mode: HistogramMode::Rebuild,
+            ..Default::default()
+        };
+        let (t_sub, _) = fit_regression(xs.clone(), ys.clone(), sub);
+        let (t_reb, _) = fit_regression(xs, ys, reb);
+        assert_eq!(t_sub.num_nodes(), t_reb.num_nodes());
+        for (a, b) in t_sub.nodes().iter().zip(t_reb.nodes()) {
+            assert_eq!(a.feature, b.feature);
+            assert_eq!(a.left, b.left);
+            assert_eq!(a.right, b.right);
+            assert_eq!(a.threshold, b.threshold);
+            assert!((a.value - b.value).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scored_fit_matches_tree_walk_for_every_row() {
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 23) as f64, (i % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = (0..200).map(|i| ((i % 23) as f64).sin()).collect();
+        let labels = vec![0usize; ys.len()];
+        let data = Dataset::from_rows(xs, labels).unwrap();
+        let mapper = BinMapper::fit(&data, 32);
+        let binned = mapper.bin_dataset(&data);
+        let grad: Vec<f64> = ys.iter().map(|y| -y).collect();
+        let hess = vec![1.0; ys.len()];
+        // Fit on a strict subsample; scores must still cover every row.
+        let sample: Vec<usize> = (0..200).filter(|i| i % 3 != 0).collect();
+        let fit = Tree::fit_scored(
+            &binned,
+            &mapper,
+            &grad,
+            &hess,
+            &sample,
+            TreeParams::default(),
+            1,
+        );
+        assert_eq!(fit.row_values.len(), 200);
+        for i in 0..200 {
+            assert_eq!(
+                fit.row_values[i],
+                fit.tree.predict_row(data.row(i)),
+                "row {i} diverged from the tree walk"
+            );
+        }
+    }
+
+    #[test]
+    fn short_rows_follow_the_missing_branch() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![1.0, i as f64]).collect();
+        let ys: Vec<f64> = (0..100).map(|i| if i < 50 { 0.0 } else { 10.0 }).collect();
+        let (tree, _) = fit_regression(xs, ys, TreeParams::default());
+        // The tree splits on feature 1; a 1-feature row treats it as missing
+        // (NaN compares false) and follows the right branch instead of
+        // panicking.
+        let v = tree.predict_row(&[1.0]);
+        assert!(v.is_finite());
+    }
+
+    #[test]
     #[should_panic(expected = "zero rows")]
     fn empty_rows_panics() {
         let data = Dataset::from_rows(vec![vec![1.0]], vec![0]).unwrap();
         let mapper = BinMapper::fit(&data, 8);
         let binned = mapper.bin_dataset(&data);
-        let _ = Tree::fit(
-            &binned,
-            1,
-            &mapper,
-            &[0.0],
-            &[1.0],
-            &[],
-            TreeParams::default(),
-        );
+        let _ = Tree::fit(&binned, &mapper, &[0.0], &[1.0], &[], TreeParams::default());
     }
 
     #[test]

@@ -69,8 +69,8 @@
 //!
 //! * [`ByomPipeline`](byom_core::ByomPipeline) takes a
 //!   `.parallelism(n)` builder knob; the per-class trees of each boosting
-//!   round are fitted concurrently and large tree nodes search their split
-//!   candidates feature-parallel
+//!   round are fitted concurrently and large tree nodes fill their
+//!   per-feature histograms column-parallel
 //!   ([`GbdtParams::parallelism`](byom_gbdt::GbdtParams)).
 //! * `byom_bench::run_clusters_parallel` fans a per-cluster experiment out
 //!   across the pool, `byom_bench::run_quotas_parallel` sweeps the quota
@@ -109,6 +109,23 @@
 //! speedup of both levels on the current machine, and `cargo bench -p
 //! byom_bench --bench pool` compares the persistent pool's per-call
 //! overhead against spawning scoped threads per call.
+//!
+//! ## The histogram engine
+//!
+//! GBDT training runs on a histogram engine
+//! ([`gbdt::histogram`](byom_gbdt::histogram)): features are pre-binned
+//! into a column-major [`BinnedMatrix`](byom_gbdt::BinnedMatrix) so
+//! per-node fills stream contiguous columns, per-node buffers are pooled,
+//! and by default each split builds only the smaller child's histogram and
+//! derives the sibling as `parent − child`
+//! ([`HistogramMode::Subtraction`](byom_gbdt::HistogramMode)). Both modes
+//! are bit-identical across thread counts and repeated runs;
+//! `HistogramMode::Rebuild` additionally reproduces the pre-engine trees
+//! bit-for-bit. Pick the mode per pipeline with
+//! `ByomPipeline::builder().histogram_mode(..)` or per tree via
+//! [`TreeParams`](byom_gbdt::TreeParams). `cargo bench -p byom_bench
+//! --bench train` pins the engine's speedup over the frozen pre-engine
+//! reference.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -131,7 +148,9 @@ pub mod prelude {
         CategoryModelConfig, HashCategorizer, LadderConfig, LadderPolicy, TrainedByom,
     };
     pub use byom_cost::{CostModel, CostRates, JobCost, Placement, SavingsSummary};
-    pub use byom_gbdt::{Dataset, GbdtParams, GradientBoostedTrees};
+    pub use byom_gbdt::{
+        BinnedMatrix, Dataset, GbdtParams, GradientBoostedTrees, HistogramMode, TreeParams,
+    };
     pub use byom_policies::{CategoryHeuristic, FirstFit, LifetimeMlBaseline, OraclePolicy};
     pub use byom_sim::{
         application_runtime_savings_percent, Device, JobOutcome, PlacementPolicy, SimConfig,

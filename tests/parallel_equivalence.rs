@@ -4,8 +4,10 @@
 //! would. These tests pin that contract.
 
 use byom::prelude::*;
-use byom_bench::{run_clusters_parallel, run_quotas_parallel, ExperimentContext, ExperimentParams};
-use byom_gbdt::Tree;
+use byom_bench::{
+    legacy_tree, run_clusters_parallel, run_quotas_parallel, ExperimentContext, ExperimentParams,
+};
+use byom_gbdt::{HistogramMode, Tree};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -68,8 +70,67 @@ fn tree_fit_is_identical_for_any_parallelism() {
     let hess: Vec<f64> = (0..data.len()).map(|_| rng.gen_range(0.1..1.0)).collect();
     let rows: Vec<usize> = (0..data.len()).collect();
     let params = byom_gbdt::TreeParams::default();
-    let sequential = Tree::fit(
-        &binned,
+    let sequential = Tree::fit(&binned, &mapper, &grad, &hess, &rows, params);
+    for threads in [2, 4, 0] {
+        let parallel =
+            Tree::fit_with_parallelism(&binned, &mapper, &grad, &hess, &rows, params, threads);
+        assert_eq!(
+            sequential, parallel,
+            "tree diverged at parallelism={threads}"
+        );
+    }
+}
+
+/// Gradient/hessian fixtures for the single-tree histogram-engine tests.
+fn tree_fixture(
+    n: usize,
+    num_features: usize,
+    seed: u64,
+) -> (Dataset, byom_gbdt::BinMapper, Vec<f64>, Vec<f64>) {
+    let data = synthetic_dataset(n, num_features, 3, seed);
+    let mapper = byom_gbdt::BinMapper::fit(&data, 64);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let grad: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let hess: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
+    (data, mapper, grad, hess)
+}
+
+#[test]
+fn subtraction_mode_is_bit_identical_across_thread_counts_and_runs() {
+    let (data, mapper, grad, hess) = tree_fixture(2500, 8, 20);
+    let binned = mapper.bin_dataset(&data);
+    let rows: Vec<usize> = (0..data.len()).collect();
+    let params = byom_gbdt::TreeParams {
+        histogram_mode: HistogramMode::Subtraction,
+        ..Default::default()
+    };
+    let reference = Tree::fit_with_parallelism(&binned, &mapper, &grad, &hess, &rows, params, 1);
+    for threads in [1, 2, 8] {
+        // Repeated runs at each thread count: the steal schedule varies from
+        // run to run, the fitted tree must not.
+        for run in 0..3 {
+            let tree =
+                Tree::fit_with_parallelism(&binned, &mapper, &grad, &hess, &rows, params, threads);
+            assert_eq!(
+                reference, tree,
+                "subtraction fit diverged at parallelism={threads}, run {run}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rebuild_mode_is_bit_identical_to_the_pre_engine_implementation() {
+    let (data, mapper, grad, hess) = tree_fixture(2000, 6, 21);
+    let binned = mapper.bin_dataset(&data);
+    let binned_row_major = legacy_tree::bin_dataset_row_major(&mapper, &data);
+    let rows: Vec<usize> = (0..data.len()).collect();
+    let params = byom_gbdt::TreeParams {
+        histogram_mode: HistogramMode::Rebuild,
+        ..Default::default()
+    };
+    let legacy = legacy_tree::fit_legacy(
+        &binned_row_major,
         data.num_features(),
         &mapper,
         &grad,
@@ -77,20 +138,53 @@ fn tree_fit_is_identical_for_any_parallelism() {
         &rows,
         params,
     );
-    for threads in [2, 4, 0] {
-        let parallel = Tree::fit_with_parallelism(
-            &binned,
-            data.num_features(),
-            &mapper,
-            &grad,
-            &hess,
-            &rows,
-            params,
-            threads,
-        );
+    for threads in [1, 4] {
+        let tree =
+            Tree::fit_with_parallelism(&binned, &mapper, &grad, &hess, &rows, params, threads);
         assert_eq!(
-            sequential, parallel,
-            "tree diverged at parallelism={threads}"
+            tree.nodes(),
+            legacy.as_slice(),
+            "rebuild mode diverged from the frozen pre-engine fit at parallelism={threads}"
+        );
+    }
+}
+
+#[test]
+fn subtraction_and_rebuild_agree_on_structure_with_close_leaf_values() {
+    // Seeded three-class dataset: subtraction's float accumulation order
+    // legitimately differs from rebuild's, so leaf values may drift by ULPs,
+    // but the chosen splits — features, bins, topology — must match.
+    let train = synthetic_dataset(1200, 6, 3, 22);
+    let mapper = byom_gbdt::BinMapper::fit(&train, 64);
+    let binned = mapper.bin_dataset(&train);
+    let probs = 1.0 / 3.0f64;
+    let grad: Vec<f64> = train
+        .labels()
+        .iter()
+        .map(|&l| probs - if l == 0 { 1.0 } else { 0.0 })
+        .collect();
+    let hess = vec![probs * (1.0 - probs); train.len()];
+    let rows: Vec<usize> = (0..train.len()).collect();
+    let fit = |mode: HistogramMode| {
+        let params = byom_gbdt::TreeParams {
+            histogram_mode: mode,
+            ..Default::default()
+        };
+        Tree::fit(&binned, &mapper, &grad, &hess, &rows, params)
+    };
+    let sub = fit(HistogramMode::Subtraction);
+    let reb = fit(HistogramMode::Rebuild);
+    assert_eq!(sub.num_nodes(), reb.num_nodes());
+    for (i, (a, b)) in sub.nodes().iter().zip(reb.nodes()).enumerate() {
+        assert_eq!(a.feature, b.feature, "node {i} split feature diverged");
+        assert_eq!(a.threshold, b.threshold, "node {i} threshold diverged");
+        assert_eq!(a.left, b.left, "node {i} topology diverged");
+        assert_eq!(a.right, b.right, "node {i} topology diverged");
+        assert!(
+            (a.value - b.value).abs() < 1e-9,
+            "node {i} leaf value drifted: {} vs {}",
+            a.value,
+            b.value
         );
     }
 }
